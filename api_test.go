@@ -1,0 +1,75 @@
+package vcalab_test
+
+import (
+	"testing"
+	"time"
+
+	"vcalab"
+)
+
+// These tests exercise the public facade exactly the way the README and
+// examples do, guarding the exported API surface.
+
+func TestFacadeQuickstart(t *testing.T) {
+	eng := vcalab.NewEngine(42)
+	lab := vcalab.NewLab(eng, 1e6, 1e6)
+	c1 := lab.ClientHost("c1")
+	c2 := lab.RemoteHost("c2", vcalab.RemoteDelay)
+	sfu := lab.RemoteHost("sfu", vcalab.SFUDelay)
+	call := vcalab.NewCall(eng, vcalab.Zoom(), sfu,
+		[]*vcalab.Host{c1, c2}, vcalab.CallOptions{Seed: 42})
+	call.Start()
+	eng.RunUntil(60 * time.Second)
+	call.Stop()
+	up := call.C1().UpMeter.MeanRateMbps(20*time.Second, 60*time.Second)
+	if up < 0.4 || up > 1.1 {
+		t.Errorf("quickstart upstream = %.2f Mbps, want ~0.8 on a 1 Mbps link", up)
+	}
+}
+
+func TestFacadeProfilesComplete(t *testing.T) {
+	ps := vcalab.Profiles()
+	for _, name := range []string{"meet", "zoom", "teams", "teams-chrome", "zoom-chrome"} {
+		if ps[name] == nil {
+			t.Errorf("missing profile %q", name)
+		}
+	}
+	if len(ps) != 5 {
+		t.Errorf("got %d profiles, want 5", len(ps))
+	}
+}
+
+func TestFacadeExperimentRunners(t *testing.T) {
+	// Tiny versions of each runner, verifying the exported plumbing.
+	rs := vcalab.RunStatic(vcalab.StaticConfig{
+		Profile: vcalab.Meet(), Dir: vcalab.Uplink, CapsMbps: []float64{2},
+		Reps: 1, Dur: 50 * time.Second, Warmup: 20 * time.Second, Seed: 1,
+	})
+	if len(rs) != 1 || rs[0].MedianMbps.Mean <= 0 {
+		t.Errorf("RunStatic broken: %+v", rs)
+	}
+	m := vcalab.RunModality(vcalab.ModalityConfig{
+		Profile: vcalab.Teams(), N: 3, Mode: vcalab.Speaker, Reps: 1,
+		Dur: 40 * time.Second, Warmup: 15 * time.Second, Seed: 1,
+	})
+	if m.UpMbps.Mean <= 0 {
+		t.Errorf("RunModality broken: %+v", m)
+	}
+}
+
+func TestFacadeStatsHelpers(t *testing.T) {
+	if vcalab.Median([]float64{1, 2, 3}) != 2 {
+		t.Error("Median broken")
+	}
+	if vcalab.Share(3, 1) != 0.75 {
+		t.Error("Share broken")
+	}
+	s := vcalab.Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 {
+		t.Errorf("Summarize broken: %+v", s)
+	}
+	if len(vcalab.PaperCaps()) != 16 || len(vcalab.PaperDisruptionLevels()) != 4 ||
+		len(vcalab.PaperCompetitionLinks()) != 6 {
+		t.Error("paper grids broken")
+	}
+}

@@ -1,0 +1,220 @@
+// Command vcabench regenerates the paper's tables and figures. Each
+// experiment id maps to one table or figure of MacMillan et al. (IMC 2021);
+// see DESIGN.md §3 for the full index.
+//
+// Usage:
+//
+//	vcabench -experiment table2
+//	vcabench -experiment fig1a -reps 5
+//	vcabench -experiment all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vcalab"
+)
+
+var (
+	reps  = flag.Int("reps", 3, "repetitions per condition (paper: 3-5)")
+	quick = flag.Bool("quick", false, "coarser grids and shorter calls")
+	seed  = flag.Int64("seed", 1, "base simulation seed")
+)
+
+func main() {
+	exp := flag.String("experiment", "table2",
+		"experiment id: table2, fig1a, fig1b, fig1c, fig2, fig3, fig4, fig5, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, all")
+	flag.Parse()
+
+	runners := map[string]func(){
+		"table2": table2, "fig1a": fig1a, "fig1b": fig1b, "fig1c": fig1c,
+		"fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
+		"fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
+		"fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
+		"impairment": impairment,
+	}
+	if *exp == "all" {
+		for _, id := range []string{"table2", "fig1a", "fig1b", "fig1c", "fig2", "fig3",
+			"fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"} {
+			fmt.Printf("\n===== %s =====\n", id)
+			runners[id]()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	run()
+}
+
+func caps() []float64 {
+	if *quick {
+		return []float64{0.3, 0.5, 1, 2, 10}
+	}
+	return vcalab.PaperCaps()
+}
+
+func callDur() time.Duration {
+	if *quick {
+		return 80 * time.Second
+	}
+	return 150 * time.Second
+}
+
+func threeVCAs() []*vcalab.Profile {
+	return []*vcalab.Profile{vcalab.Meet(), vcalab.Teams(), vcalab.Zoom()}
+}
+
+func table2() {
+	rs := vcalab.Table2(threeVCAs(), *reps, *seed)
+	vcalab.PrintTable2(os.Stdout, rs)
+}
+
+func sweep(dir vcalab.Direction, profiles []*vcalab.Profile) {
+	for _, p := range profiles {
+		rs := vcalab.RunStatic(vcalab.StaticConfig{
+			Profile: p, Dir: dir, CapsMbps: caps(), Reps: *reps,
+			Dur: callDur(), Seed: *seed,
+		})
+		vcalab.PrintStatic(os.Stdout, rs)
+	}
+}
+
+func fig1a() { sweep(vcalab.Uplink, threeVCAs()) }
+func fig1b() { sweep(vcalab.Downlink, threeVCAs()) }
+func fig1c() {
+	sweep(vcalab.Uplink, []*vcalab.Profile{
+		vcalab.Teams(), vcalab.TeamsChrome(), vcalab.Zoom(), vcalab.ZoomChrome(),
+	})
+}
+
+func fig2() {
+	// Encoding parameters for the two stats-capable clients (§3.2).
+	for _, dir := range []vcalab.Direction{vcalab.Downlink, vcalab.Uplink} {
+		sweep(dir, []*vcalab.Profile{vcalab.Meet(), vcalab.TeamsChrome()})
+	}
+}
+
+func fig3() {
+	// Freeze ratios (downlink) and FIR counts (uplink) come out of the
+	// same sweeps; PrintStatic includes both columns.
+	fig2()
+}
+
+func disruptionSet(dir vcalab.Direction) {
+	for _, p := range threeVCAs() {
+		for _, level := range vcalab.PaperDisruptionLevels() {
+			r := vcalab.RunDisruption(vcalab.DisruptionConfig{
+				Profile: p, Dir: dir, LevelMbps: level, Reps: *reps, Seed: *seed,
+			})
+			vcalab.PrintDisruption(os.Stdout, r)
+		}
+	}
+}
+
+func fig4() {
+	disruptionSet(vcalab.Uplink)
+	// Fig 4a trace at the severest level:
+	r := vcalab.RunDisruption(vcalab.DisruptionConfig{
+		Profile: vcalab.Zoom(), Dir: vcalab.Uplink, LevelMbps: 0.25, Reps: 1, Seed: *seed,
+	})
+	vcalab.PrintDisruptionTrace(os.Stdout, r)
+}
+
+func fig5() { disruptionSet(vcalab.Downlink) }
+
+func fig6() {
+	for _, p := range []*vcalab.Profile{vcalab.Meet(), vcalab.Teams()} {
+		r := vcalab.RunDisruption(vcalab.DisruptionConfig{
+			Profile: p, Dir: vcalab.Downlink, LevelMbps: 0.25, Reps: 1, Seed: *seed,
+		})
+		vcalab.PrintDisruptionTrace(os.Stdout, r)
+	}
+}
+
+func vcaPairs(linkMbps float64) {
+	for _, inc := range threeVCAs() {
+		for _, comp := range threeVCAs() {
+			r := vcalab.RunCompetition(vcalab.CompetitionConfig{
+				Incumbent: inc, Kind: vcalab.CompVCA, CompProfile: comp,
+				LinkMbps: linkMbps, Reps: *reps, Seed: *seed,
+			})
+			vcalab.PrintCompetition(os.Stdout, r)
+		}
+	}
+}
+
+func fig8()  { vcaPairs(0.5) }
+func fig10() { vcaPairs(0.5) }
+
+func fig9() {
+	for _, p := range []*vcalab.Profile{vcalab.Zoom(), vcalab.Meet()} {
+		r := vcalab.RunCompetition(vcalab.CompetitionConfig{
+			Incumbent: p, Kind: vcalab.CompVCA, CompProfile: p,
+			LinkMbps: 0.5, Reps: 1, Seed: *seed,
+		})
+		vcalab.PrintCompetition(os.Stdout, r)
+	}
+}
+
+func fig11() {
+	r := vcalab.RunCompetition(vcalab.CompetitionConfig{
+		Incumbent: vcalab.Teams(), Kind: vcalab.CompVCA, CompProfile: vcalab.Zoom(),
+		LinkMbps: 1, Reps: *reps, Seed: *seed,
+	})
+	vcalab.PrintCompetition(os.Stdout, r)
+}
+
+func fig12() {
+	for _, p := range threeVCAs() {
+		r := vcalab.RunCompetition(vcalab.CompetitionConfig{
+			Incumbent: p, Kind: vcalab.CompIPerf, LinkMbps: 2, Reps: *reps, Seed: *seed,
+		})
+		vcalab.PrintCompetition(os.Stdout, r)
+	}
+}
+
+func fig13() {
+	r := vcalab.RunCompetition(vcalab.CompetitionConfig{
+		Incumbent: vcalab.Zoom(), Kind: vcalab.CompIPerf, LinkMbps: 2, Reps: 1, Seed: *seed,
+	})
+	vcalab.PrintCompetition(os.Stdout, r)
+}
+
+func fig14() {
+	r := vcalab.RunCompetition(vcalab.CompetitionConfig{
+		Incumbent: vcalab.Zoom(), Kind: vcalab.CompNetflix, LinkMbps: 0.5, Reps: *reps, Seed: *seed,
+	})
+	vcalab.PrintCompetition(os.Stdout, r)
+	y := vcalab.RunCompetition(vcalab.CompetitionConfig{
+		Incumbent: vcalab.Teams(), Kind: vcalab.CompYouTube, LinkMbps: 0.5, Reps: *reps, Seed: *seed,
+	})
+	vcalab.PrintCompetition(os.Stdout, y)
+}
+
+// impairment is the §8 future-work extension: random loss and jitter.
+func impairment() {
+	for _, p := range threeVCAs() {
+		rs := vcalab.RunImpairment(vcalab.ImpairmentConfig{
+			Profile: p, LossPcts: []float64{0, 0.5, 1, 2, 5},
+			Jitter: 20 * time.Millisecond, Reps: *reps, Seed: *seed,
+		})
+		vcalab.PrintImpairment(os.Stdout, rs)
+	}
+}
+
+func fig15() {
+	maxN := 8
+	if *quick {
+		maxN = 5
+	}
+	for _, p := range threeVCAs() {
+		vcalab.PrintModality(os.Stdout, vcalab.ModalitySweep(p, vcalab.Gallery, maxN, *reps, *seed))
+		vcalab.PrintModality(os.Stdout, vcalab.ModalitySweep(p, vcalab.Speaker, maxN, *reps, *seed))
+	}
+}

@@ -1,0 +1,75 @@
+// Command vcacall runs a single emulated video-conference call and prints
+// per-second measurements as CSV: C1's upstream and downstream bitrate and
+// the WebRTC-stats encode parameters.
+//
+// Usage:
+//
+//	vcacall -vca zoom -up 0.5 -down 0 -dur 150s
+//	vcacall -vca meet -n 5 -mode speaker
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vcalab"
+)
+
+func main() {
+	var (
+		vcaName = flag.String("vca", "zoom", "VCA profile: meet|zoom|teams|teams-chrome|zoom-chrome")
+		up      = flag.Float64("up", 0, "uplink shaping in Mbps (0 = unconstrained)")
+		down    = flag.Float64("down", 0, "downlink shaping in Mbps (0 = unconstrained)")
+		dur     = flag.Duration("dur", 150*time.Second, "call duration")
+		n       = flag.Int("n", 2, "number of participants")
+		mode    = flag.String("mode", "gallery", "viewing mode: gallery|speaker")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	prof, ok := vcalab.Profiles()[*vcaName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown VCA %q; choose from meet, zoom, teams, teams-chrome, zoom-chrome\n", *vcaName)
+		os.Exit(2)
+	}
+	vm := vcalab.Gallery
+	if *mode == "speaker" {
+		vm = vcalab.Speaker
+	}
+
+	eng := vcalab.NewEngine(*seed)
+	lab := vcalab.NewLab(eng, *up*1e6, *down*1e6)
+	hosts := []*vcalab.Host{lab.ClientHost("c1")}
+	for i := 2; i <= *n; i++ {
+		hosts = append(hosts, lab.RemoteHost(fmt.Sprintf("c%d", i), vcalab.RemoteDelay))
+	}
+	sfu := lab.RemoteHost("sfu", vcalab.SFUDelay)
+	call := vcalab.NewCall(eng, prof, sfu, hosts, vcalab.CallOptions{Mode: vm, Seed: *seed})
+	call.Start()
+	eng.RunUntil(*dur)
+	call.Stop()
+
+	c1 := call.C1()
+	upS, downS := c1.UpMeter.RateMbps(), c1.DownMeter.RateMbps()
+	fmt.Println("t_s,up_mbps,down_mbps,out_fps,out_qp,out_width,fir_total")
+	for i := range upS.Times {
+		var fps, qp float64
+		var width, fir int
+		if i < len(c1.Recorder.Samples) {
+			s := c1.Recorder.Samples[i]
+			fps, qp, width, fir = s.Out.FPS, s.Out.QP, s.Out.Width, s.FIRCount
+		}
+		d := 0.0
+		if i < downS.Len() {
+			d = downS.Values[i]
+		}
+		fmt.Printf("%.0f,%.3f,%.3f,%.1f,%.1f,%d,%d\n",
+			upS.Times[i].Seconds(), upS.Values[i], d, fps, qp, width, fir)
+	}
+	fmt.Fprintf(os.Stderr, "%s: mean up %.2f Mbps, down %.2f Mbps over final 2/3 of call\n",
+		prof.Name,
+		c1.UpMeter.MeanRateMbps(*dur/3, *dur),
+		c1.DownMeter.MeanRateMbps(*dur/3, *dur))
+}

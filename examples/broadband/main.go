@@ -1,0 +1,67 @@
+// Broadband: the policy question that motivated the paper — does the FCC's
+// 25/3 Mbps broadband definition suffice for a multi-person household on
+// simultaneous video calls (§1, §3 takeaway)?
+//
+// This example puts one, two, then three simultaneous 2-party calls of each
+// VCA behind a 3 Mbps uplink (the FCC floor) and reports per-call quality.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"vcalab"
+)
+
+func main() {
+	fmt.Println("FCC broadband floor: 25 Mbps down / 3 Mbps up")
+	fmt.Println("simultaneous 2-party calls sharing the 3 Mbps uplink:")
+	fmt.Println()
+
+	for _, mk := range []func() *vcalab.Profile{vcalab.Meet, vcalab.Teams, vcalab.Zoom} {
+		prof := mk()
+		fmt.Printf("%s:\n", prof.Name)
+		for nCalls := 1; nCalls <= 3; nCalls++ {
+			perCall, freezeRatio := run(mk, nCalls)
+			verdict := "ok"
+			if freezeRatio > 0.02 {
+				verdict = "degraded"
+			}
+			fmt.Printf("  %d call(s): %.2f Mbps per call upstream, %.1f%% freezes -> %s\n",
+				nCalls, perCall, 100*freezeRatio, verdict)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The paper's takeaway (§3): a 25/3 connection may not suffice")
+	fmt.Println("even for two simultaneous video calls.")
+}
+
+// run starts nCalls calls behind one 3 Mbps uplink and returns the mean
+// per-call upstream rate and the worst receiver freeze ratio.
+func run(mk func() *vcalab.Profile, nCalls int) (perCallMbps, worstFreeze float64) {
+	eng := vcalab.NewEngine(7)
+	lab := vcalab.NewLab(eng, 3e6, 25e6)
+	var calls []*vcalab.Call
+	for i := 0; i < nCalls; i++ {
+		c1 := lab.ClientHost(fmt.Sprintf("home%d", i))
+		c2 := lab.RemoteHost(fmt.Sprintf("far%d", i), vcalab.RemoteDelay)
+		sfu := lab.RemoteHost(fmt.Sprintf("sfu%d", i), vcalab.SFUDelay)
+		call := vcalab.NewCall(eng, mk(), sfu,
+			[]*vcalab.Host{c1, c2}, vcalab.CallOptions{Seed: int64(100 + i)})
+		call.Start()
+		calls = append(calls, call)
+	}
+	dur := 120 * time.Second
+	eng.RunUntil(dur)
+	var sum float64
+	for _, call := range calls {
+		call.Stop()
+		sum += call.C1().UpMeter.MeanRateMbps(30*time.Second, dur)
+		// The far receiver's freeze ratio reflects uplink health.
+		fr := call.Clients[1].Receiver(call.C1().Name).FreezeRatio()
+		if fr > worstFreeze {
+			worstFreeze = fr
+		}
+	}
+	return sum / float64(nCalls), worstFreeze
+}

@@ -1,0 +1,152 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// ZoomConfig parameterizes ZoomCC. Start from DefaultZoomConfig.
+type ZoomConfig struct {
+	Range Range
+
+	// NominalBps is the steady-state rate the controller settles at on an
+	// unconstrained link (Table 2: ~0.78 Mbps upstream for Zoom).
+	NominalBps float64
+
+	// StepBps is the stepwise-increase quantum, and HoldTime how long the
+	// controller dwells on a step before probing the next one — producing
+	// the staircase recovery of Fig 4a.
+	StepBps  float64
+	HoldTime time.Duration
+
+	// ProbeOvershoot is how far above nominal the post-recovery probing
+	// phase climbs before settling back (Fig 4a shows Zoom sending well
+	// above nominal for ~2 minutes after a disruption).
+	ProbeOvershoot float64
+
+	// LossTolerance and DelayTolerance are the back-off triggers. They
+	// are deliberately huge: Zoom's FEC masks loss, so the controller
+	// keeps pushing where GCC or TeamsCC would retreat — the §5 findings
+	// that Zoom takes >75% of a constrained link follow from these.
+	LossTolerance  float64
+	DelayTolerance time.Duration
+
+	// BackoffFactor scales the receive rate on back-off.
+	BackoffFactor float64
+
+	// SteadyProbeInterval/Duration/Factor give the periodic in-call probe
+	// bursts ("Anomalous Zoom Bursts", Fig 13): every interval the sender
+	// emits padding at Factor×target for Duration.
+	SteadyProbeInterval time.Duration
+	SteadyProbeDuration time.Duration
+	SteadyProbeFactor   float64
+}
+
+// DefaultZoomConfig returns the calibration used for the paper's Zoom
+// client (§3: nominal 0.78 Mbps up; §4: ~40-50 s staircase recovery from
+// 0.25 Mbps; §5: >75% link share under competition).
+func DefaultZoomConfig(r Range, nominal float64) ZoomConfig {
+	return ZoomConfig{
+		Range:               r,
+		NominalBps:          nominal,
+		StepBps:             120_000,
+		HoldTime:            6 * time.Second,
+		ProbeOvershoot:      1.6,
+		LossTolerance:       0.30,
+		DelayTolerance:      500 * time.Millisecond,
+		BackoffFactor:       0.93,
+		SteadyProbeInterval: 55 * time.Second,
+		SteadyProbeDuration: 6 * time.Second,
+		SteadyProbeFactor:   1.7,
+	}
+}
+
+// ZoomCC models Zoom's FEC-probing congestion control: linear/stepwise
+// ramping, long holds, extreme loss tolerance, and periodic probe bursts.
+type ZoomCC struct {
+	cfg ZoomConfig
+
+	rate       float64
+	lastChange time.Duration
+	// probing tracks the post-disruption overshoot phase: rate climbs
+	// past nominal to probe headroom, then settles back to nominal.
+	probing    bool
+	settled    bool
+	lastSteady time.Duration
+	burstUntil time.Duration
+}
+
+// NewZoomCC creates a ZoomCC controller.
+func NewZoomCC(cfg ZoomConfig) *ZoomCC {
+	if cfg.StepBps == 0 || cfg.BackoffFactor == 0 {
+		panic("cc: ZoomConfig missing parameters; start from DefaultZoomConfig")
+	}
+	return &ZoomCC{cfg: cfg, rate: cfg.Range.StartBps}
+}
+
+// Name implements Controller.
+func (z *ZoomCC) Name() string { return "zoom" }
+
+// TargetBps implements Controller.
+func (z *ZoomCC) TargetBps() float64 { return z.cfg.Range.clamp(z.rate) }
+
+// PadRateBps implements Controller.
+func (z *ZoomCC) PadRateBps(now time.Duration) float64 {
+	if now < z.burstUntil {
+		return (z.cfg.SteadyProbeFactor - 1) * z.TargetBps()
+	}
+	return 0
+}
+
+// OnFeedback implements Controller.
+func (z *ZoomCC) OnFeedback(fb Feedback) {
+	congested := fb.LossFraction > z.cfg.LossTolerance ||
+		fb.QueueDelay > z.cfg.DelayTolerance
+
+	if congested {
+		next := z.cfg.BackoffFactor * fb.ReceiveRateBps
+		if next < z.rate {
+			z.rate = z.cfg.Range.clamp(next)
+		}
+		z.lastChange = fb.Now
+		z.probing = true // a constraint was hit: re-probe on the way out
+		z.settled = false
+		z.burstUntil = 0 // abandon any burst under congestion
+		return
+	}
+
+	// Steady-state periodic probe bursts (only once settled at nominal).
+	if z.settled && z.cfg.SteadyProbeInterval > 0 &&
+		fb.Now-z.lastSteady >= z.cfg.SteadyProbeInterval {
+		z.burstUntil = fb.Now + z.cfg.SteadyProbeDuration
+		z.lastSteady = fb.Now
+	}
+
+	if fb.Now-z.lastChange < z.cfg.HoldTime {
+		return // dwell on the current step
+	}
+	z.lastChange = fb.Now
+
+	ceiling := z.cfg.NominalBps
+	if z.probing {
+		ceiling = z.cfg.NominalBps * z.cfg.ProbeOvershoot
+	}
+	switch {
+	case z.rate < ceiling:
+		z.rate = math.Min(z.rate+z.cfg.StepBps, z.cfg.Range.MaxBps)
+		z.settled = false
+	case z.probing:
+		// Finished the overshoot phase: settle back to nominal.
+		z.probing = false
+		z.rate = z.cfg.NominalBps
+		z.settled = true
+		z.lastSteady = fb.Now
+	default:
+		z.rate = z.cfg.NominalBps
+		if !z.settled {
+			z.settled = true
+			z.lastSteady = fb.Now
+		}
+	}
+	z.rate = z.cfg.Range.clamp(z.rate)
+}

@@ -1,0 +1,278 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testLadder() Ladder {
+	return Ladder{Rungs: []Rung{
+		{LoBps: 0, FPS: 7, Width: 320, Height: 180, QPLo: 35, QPHi: 42},
+		{LoBps: 300_000, FPS: 15, Width: 320, Height: 180, QPLo: 30, QPHi: 38},
+		{LoBps: 600_000, FPS: 30, Width: 640, Height: 360, QPLo: 22, QPHi: 32},
+		{LoBps: 1_200_000, FPS: 30, Width: 960, Height: 540, QPLo: 14, QPHi: 24},
+	}}
+}
+
+func TestLadderRungSelection(t *testing.T) {
+	l := testLadder()
+	cases := []struct {
+		bps   float64
+		width int
+		fps   float64
+	}{
+		{100_000, 320, 7},
+		{400_000, 320, 15},
+		{700_000, 640, 30},
+		{5_000_000, 960, 30},
+	}
+	for _, c := range cases {
+		p := l.ParamsFor(c.bps, nil)
+		if p.Width != c.width || p.FPS != c.fps {
+			t.Errorf("ParamsFor(%v) = %+v, want width %d fps %v", c.bps, p, c.width, c.fps)
+		}
+	}
+}
+
+func TestLadderQPMonotoneWithinRung(t *testing.T) {
+	l := testLadder()
+	// Within the 600k-1.2M rung, QP must fall as the rate rises.
+	p1 := l.ParamsFor(650_000, nil)
+	p2 := l.ParamsFor(1_100_000, nil)
+	if p1.QP <= p2.QP {
+		t.Errorf("QP not decreasing with rate: %.1f at 650k vs %.1f at 1.1M", p1.QP, p2.QP)
+	}
+	if p1.QP > 32 || p2.QP < 22 {
+		t.Errorf("QP out of rung bounds: %v %v", p1.QP, p2.QP)
+	}
+}
+
+func TestLadderEmpty(t *testing.T) {
+	p := Ladder{}.ParamsFor(1e6, nil)
+	if p.FPS == 0 || p.Width == 0 {
+		t.Errorf("empty ladder fallback broken: %+v", p)
+	}
+}
+
+func TestLadderJitterNeedsRng(t *testing.T) {
+	l := testLadder()
+	l.Jitter = 0.3
+	// nil rng: must not panic, jitter ignored.
+	p := l.ParamsFor(700_000, nil)
+	if p.Width != 640 {
+		t.Errorf("nil-rng jittered ladder = %+v", p)
+	}
+	// With rng, rung selection must vary across draws.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[l.ParamsFor(640_000, rng).Width] = true
+	}
+	if len(seen) < 2 {
+		t.Error("jittered ladder never varied rung selection")
+	}
+}
+
+func TestSourceDeterminismAndBounds(t *testing.T) {
+	a := NewSource(rand.New(rand.NewSource(5)))
+	b := NewSource(rand.New(rand.NewSource(5)))
+	for i := 0; i < 1000; i++ {
+		ca, cb := a.Complexity(), b.Complexity()
+		if ca != cb {
+			t.Fatal("source not deterministic")
+		}
+		if ca < 0.6 || ca > 1.6 {
+			t.Fatalf("complexity %v out of bounds", ca)
+		}
+	}
+}
+
+func TestEncoderHitsTargetRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEncoder("v", testLadder(), NewSource(rng), rng)
+	e.SetTarget(800_000)
+	var bytes int
+	tick := time.Second / 30
+	dur := 10 * time.Second
+	for now := time.Duration(0); now < dur; now += tick {
+		if f := e.Tick(now); f != nil {
+			bytes += f.Bytes
+		}
+	}
+	got := float64(bytes) * 8 / dur.Seconds()
+	if math.Abs(got-800_000)/800_000 > 0.15 {
+		t.Errorf("encoder produced %.0f bps for 800k target", got)
+	}
+}
+
+func TestEncoderFPSSkipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := NewEncoder("v", testLadder(), NewSource(rng), rng)
+	e.SetTarget(400_000) // 15 fps rung
+	frames := 0
+	tick := time.Second / 30
+	for now := time.Duration(0); now < 10*time.Second; now += tick {
+		if f := e.Tick(now); f != nil {
+			frames++
+		}
+	}
+	if frames < 140 || frames > 160 {
+		t.Errorf("frames in 10s at 15fps rung = %d, want ~150", frames)
+	}
+}
+
+func TestEncoderKeyframes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := NewEncoder("v", testLadder(), NewSource(rng), rng)
+	e.SetTarget(800_000)
+	e.RequestKeyframe()
+	tick := time.Second / 30
+	var first *Frame
+	var normal []int
+	for now := time.Duration(0); now < 2*time.Second; now += tick {
+		if f := e.Tick(now); f != nil {
+			if first == nil {
+				first = f
+				if !f.Keyframe {
+					t.Fatal("requested keyframe not honoured")
+				}
+				continue
+			}
+			if f.Keyframe {
+				t.Fatal("unexpected extra keyframe")
+			}
+			normal = append(normal, f.Bytes)
+		}
+	}
+	var mean float64
+	for _, b := range normal {
+		mean += float64(b)
+	}
+	mean /= float64(len(normal))
+	if float64(first.Bytes) < 2*mean {
+		t.Errorf("keyframe %d bytes not >> mean %f", first.Bytes, mean)
+	}
+}
+
+func TestEncoderZeroTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	e := NewEncoder("v", testLadder(), NewSource(rng), rng)
+	if f := e.Tick(0); f != nil {
+		t.Error("zero-target encoder emitted a frame")
+	}
+}
+
+func TestSimulcastSplitsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewSimulcast(testLadder(), testLadder(), 190_000, 250_000, NewSource(rng), rng)
+	s.SetTarget(950_000)
+	if s.Low.Target() > 200_000 || s.Low.Target() < 100_000 {
+		t.Errorf("low target = %v", s.Low.Target())
+	}
+	if s.High.Target() < 700_000 {
+		t.Errorf("high target = %v", s.High.Target())
+	}
+	// Starved: only the low copy survives.
+	s.SetTarget(220_000)
+	if s.High.Target() != 0 {
+		t.Errorf("high stream alive at 220k total: %v", s.High.Target())
+	}
+	if s.Low.Target() == 0 {
+		t.Error("low stream dead at 220k total")
+	}
+}
+
+func TestSimulcastEmitsBothStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := NewSimulcast(testLadder(), testLadder(), 190_000, 250_000, NewSource(rng), rng)
+	s.SetTarget(950_000)
+	tick := time.Second / 30
+	seen := map[string]int{}
+	for now := time.Duration(0); now < 5*time.Second; now += tick {
+		for _, f := range s.Tick(now) {
+			seen[f.StreamID]++
+		}
+	}
+	if seen["sim/low"] == 0 || seen["sim/high"] == 0 {
+		t.Errorf("stream frame counts = %v", seen)
+	}
+}
+
+func TestSVCLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewSVC(testLadder(), []float64{0.4, 0.3, 0.3}, NewSource(rng), rng)
+	s.SetTarget(780_000)
+	tick := time.Second / 30
+	var totalBytes int
+	layerBytes := map[int]int{}
+	for now := time.Duration(0); now < 10*time.Second; now += tick {
+		for _, f := range s.Tick(now) {
+			totalBytes += f.Bytes
+			layerBytes[f.Layer] += f.Bytes
+			if f.Layer > 0 && f.Keyframe {
+				t.Fatal("keyframe on enhancement layer")
+			}
+		}
+	}
+	got := float64(totalBytes) * 8 / 10
+	if math.Abs(got-780_000)/780_000 > 0.15 {
+		t.Errorf("SVC total = %.0f bps for 780k target", got)
+	}
+	if len(layerBytes) != 3 {
+		t.Fatalf("layers seen: %v", layerBytes)
+	}
+	if !(layerBytes[0] > layerBytes[1] && layerBytes[1] > 0) {
+		t.Errorf("layer byte split wrong: %v", layerBytes)
+	}
+}
+
+func TestFECBytes(t *testing.T) {
+	if got := FECBytes(1000, 0.2); got != 200 {
+		t.Errorf("FECBytes = %d, want 200", got)
+	}
+	if got := FECBytes(0, 0.5); got != 0 {
+		t.Errorf("FECBytes(0) = %d", got)
+	}
+}
+
+// Property: ladder parameters are piecewise-monotone — a higher target never
+// yields a lower resolution or FPS.
+func TestQuickLadderMonotone(t *testing.T) {
+	l := testLadder()
+	f := func(a, b uint32) bool {
+		ra, rb := float64(a%5_000_000), float64(b%5_000_000)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		pa, pb := l.ParamsFor(ra, nil), l.ParamsFor(rb, nil)
+		return pa.Width <= pb.Width && pa.FPS <= pb.FPS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoder long-run output rate tracks any sane target within 20%.
+func TestQuickEncoderRateTracking(t *testing.T) {
+	f := func(seed int64, rawTarget uint32) bool {
+		target := float64(rawTarget%2_000_000) + 200_000
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEncoder("v", testLadder(), NewSource(rng), rng)
+		e.SetTarget(target)
+		var bytes int
+		tick := time.Second / 30
+		for now := time.Duration(0); now < 20*time.Second; now += tick {
+			if f := e.Tick(now); f != nil {
+				bytes += f.Bytes
+			}
+		}
+		got := float64(bytes) * 8 / 20
+		return math.Abs(got-target)/target < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"vcalab/internal/apps"
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+	"vcalab/internal/vca"
+)
+
+// CompetitorKind selects what shares the bottleneck with the incumbent
+// VCA call (§5).
+type CompetitorKind int
+
+// Competitors studied by the paper.
+const (
+	CompVCA CompetitorKind = iota
+	CompIPerf
+	CompNetflix
+	CompYouTube
+)
+
+func (k CompetitorKind) String() string {
+	switch k {
+	case CompVCA:
+		return "vca"
+	case CompIPerf:
+		return "iperf3"
+	case CompNetflix:
+		return "netflix"
+	default:
+		return "youtube"
+	}
+}
+
+// CompetitionConfig describes one §5 experiment: an incumbent VCA call
+// starts first; ~30 s later the competing application joins from F1 behind
+// the same bottleneck for two minutes (Fig 7's topology).
+type CompetitionConfig struct {
+	Incumbent *vca.Profile
+	Kind      CompetitorKind
+	// CompProfile is the competing VCA's profile when Kind == CompVCA.
+	CompProfile *vca.Profile
+	LinkMbps    float64 // symmetric shaping, paper: {0.5,1,2,3,4,5}
+	Reps        int     // paper: 3
+	Seed        int64
+
+	CallDur time.Duration // incumbent lifetime (default 210 s)
+	CompAt  time.Duration // competitor start (default 30 s)
+	CompDur time.Duration // competitor lifetime (default 120 s)
+	ShareLo time.Duration // share-measurement window start (default 45 s)
+	ShareHi time.Duration // window end (default 145 s)
+}
+
+func (c *CompetitionConfig) defaults() {
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	if c.CallDur == 0 {
+		c.CallDur = 210 * time.Second
+	}
+	if c.CompAt == 0 {
+		c.CompAt = 30 * time.Second
+	}
+	if c.CompDur == 0 {
+		c.CompDur = 120 * time.Second
+	}
+	if c.ShareLo == 0 {
+		c.ShareLo = 45 * time.Second
+	}
+	if c.ShareHi == 0 {
+		c.ShareHi = 145 * time.Second
+	}
+}
+
+// CompetitionResult is one cell of Figs 8–14.
+type CompetitionResult struct {
+	Incumbent  string
+	Competitor string
+	LinkMbps   float64
+
+	// ShareUp / ShareDown are the incumbent's fraction of bottleneck
+	// bytes while the competitor was active (box values in Figs 8/10/12).
+	ShareUp, ShareDown stats.Summary
+
+	// Time series (bottleneck-tap bitrates, 1 s bins, mean across reps)
+	// for the trace figures (Figs 9, 11, 13, 14a).
+	IncUp, CompUp, IncDown, CompDown stats.Series
+
+	// Netflix connection behaviour (Fig 14b).
+	NetflixConns        stats.Summary
+	NetflixPeakParallel stats.Summary
+}
+
+// RunCompetition executes the experiment.
+func RunCompetition(cfg CompetitionConfig) CompetitionResult {
+	cfg.defaults()
+	name := cfg.Kind.String()
+	if cfg.Kind == CompVCA {
+		name = cfg.CompProfile.Name
+	}
+	res := CompetitionResult{
+		Incumbent: cfg.Incumbent.Name, Competitor: name, LinkMbps: cfg.LinkMbps,
+	}
+	var shUp, shDown, nfConns, nfPeak []float64
+	var incUp, compUp, incDown, compDown []stats.Series
+
+	for rep := 0; rep < cfg.Reps; rep++ {
+		seed := cfg.Seed + int64(rep)*7127
+		eng := sim.New(seed)
+		lab := NewLab(eng, cfg.LinkMbps*1e6, cfg.LinkMbps*1e6)
+
+		// Bottleneck taps: classify by which bottleneck-side host the
+		// packet belongs to (what tcpdump at the clients saw).
+		mIncUp, mCompUp := stats.NewMeter(time.Second), stats.NewMeter(time.Second)
+		mIncDown, mCompDown := stats.NewMeter(time.Second), stats.NewMeter(time.Second)
+		lab.Uplink().OnSend(func(p *netem.Packet) {
+			switch p.From.Host {
+			case "c1":
+				mIncUp.AddBytes(eng.Now(), p.Size)
+			case "f1":
+				mCompUp.AddBytes(eng.Now(), p.Size)
+			}
+		})
+		lab.Downlink().OnSend(func(p *netem.Packet) {
+			switch p.To.Host {
+			case "c1":
+				mIncDown.AddBytes(eng.Now(), p.Size)
+			case "f1":
+				mCompDown.AddBytes(eng.Now(), p.Size)
+			}
+		})
+
+		// Incumbent call.
+		c1 := lab.ClientHost("c1")
+		c2 := lab.RemoteHost("c2", RemoteDelay)
+		sfu := lab.RemoteHost("sfu", SFUDelay)
+		call := vca.NewCall(eng, cfg.Incumbent, sfu, []*netem.Host{c1, c2}, vca.CallOptions{Seed: seed})
+		call.Start()
+
+		// Competitor.
+		f1 := lab.ClientHost("f1")
+		var stopComp func()
+		eng.Schedule(cfg.CompAt, func() {
+			stopComp = startCompetitor(eng, lab, cfg, f1, seed, &nfConns, &nfPeak)
+		})
+		eng.Schedule(cfg.CompAt+cfg.CompDur, func() {
+			if stopComp != nil {
+				stopComp()
+			}
+		})
+
+		eng.RunUntil(cfg.CallDur)
+		call.Stop()
+
+		iu := mIncUp.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
+		cu := mCompUp.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
+		id := mIncDown.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
+		cd := mCompDown.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
+		shUp = append(shUp, stats.Share(iu, cu))
+		shDown = append(shDown, stats.Share(id, cd))
+		incUp = append(incUp, mIncUp.RateMbps())
+		compUp = append(compUp, mCompUp.RateMbps())
+		incDown = append(incDown, mIncDown.RateMbps())
+		compDown = append(compDown, mCompDown.RateMbps())
+	}
+	res.ShareUp = stats.Summarize(shUp)
+	res.ShareDown = stats.Summarize(shDown)
+	res.IncUp = meanSeries(incUp)
+	res.CompUp = meanSeries(compUp)
+	res.IncDown = meanSeries(incDown)
+	res.CompDown = meanSeries(compDown)
+	res.NetflixConns = stats.Summarize(nfConns)
+	res.NetflixPeakParallel = stats.Summarize(nfPeak)
+	return res
+}
+
+// startCompetitor launches the competing application on f1 and returns its
+// stop function.
+func startCompetitor(eng *sim.Engine, lab *Lab, cfg CompetitionConfig, f1 *netem.Host, seed int64, nfConns, nfPeak *[]float64) func() {
+	switch cfg.Kind {
+	case CompVCA:
+		f2 := lab.RemoteHost("f2", RemoteDelay)
+		sfu2 := lab.RemoteHost("sfu2", SFUDelay)
+		call2 := vca.NewCall(eng, cfg.CompProfile, sfu2, []*netem.Host{f1, f2}, vca.CallOptions{Seed: seed + 999})
+		call2.Start()
+		return call2.Stop
+	case CompIPerf:
+		// One upload and one download flow so a single run measures the
+		// paper's uplink and downlink conditions; the cross-direction
+		// ack traffic is negligible.
+		srvUp := lab.RemoteHost("ipup", IPerfDelay)
+		srvDown := lab.RemoteHost("ipdn", IPerfDelay)
+		upload := apps.NewIPerf(eng, f1, srvUp, 5201)
+		download := apps.NewIPerf(eng, srvDown, f1, 5202)
+		upload.Start()
+		download.Start()
+		return func() { upload.Stop(); download.Stop() }
+	case CompNetflix:
+		cdn := lab.RemoteHost("nfcdn", RemoteDelay)
+		nf := apps.NewNetflix(eng, f1, cdn, 7000)
+		nf.Start()
+		return func() {
+			nf.Stop()
+			*nfConns = append(*nfConns, float64(nf.ConnectionsOpened))
+			*nfPeak = append(*nfPeak, float64(nf.PeakParallel))
+		}
+	default:
+		cdn := lab.RemoteHost("ytcdn", RemoteDelay)
+		yt := apps.NewYouTube(eng, f1, cdn, 8000)
+		yt.Start()
+		return yt.Stop
+	}
+}
+
+// PaperCompetitionLinks are §5's symmetric link capacities in Mbps.
+func PaperCompetitionLinks() []float64 { return []float64{0.5, 1, 2, 3, 4, 5} }
+
+// CompetitionLabel renders "incumbent vs competitor @ L Mbps".
+func CompetitionLabel(r CompetitionResult) string {
+	return fmt.Sprintf("%s vs %s @ %g Mbps", r.Incumbent, r.Competitor, r.LinkMbps)
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"time"
+
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+	"vcalab/internal/vca"
+)
+
+// DisruptionConfig describes one §4 transient-reduction experiment: a
+// five-minute call whose access link is reduced to LevelMbps for 30 seconds
+// starting one minute in, then restored.
+type DisruptionConfig struct {
+	Profile   *vca.Profile
+	Dir       Direction
+	LevelMbps float64
+	Reps      int // paper: 4
+	Seed      int64
+
+	// Timing knobs (defaults follow §4's method).
+	CallDur  time.Duration // 5 min
+	DropAt   time.Duration // 60 s
+	DropLen  time.Duration // 30 s
+	TTRFrac  float64       // fraction of nominal considered recovered (0.95)
+	TTRRoll  time.Duration // rolling-median window (5 s)
+	MeterBin time.Duration // series bin (1 s)
+}
+
+func (c *DisruptionConfig) defaults() {
+	if c.Reps == 0 {
+		c.Reps = 4
+	}
+	if c.CallDur == 0 {
+		c.CallDur = 300 * time.Second
+	}
+	if c.DropAt == 0 {
+		c.DropAt = 60 * time.Second
+	}
+	if c.DropLen == 0 {
+		c.DropLen = 30 * time.Second
+	}
+	if c.TTRFrac == 0 {
+		c.TTRFrac = 0.95
+	}
+	if c.TTRRoll == 0 {
+		c.TTRRoll = 5 * time.Second
+	}
+}
+
+// DisruptionResult carries the Fig 4/5/6 data for one (VCA, direction,
+// level) condition.
+type DisruptionResult struct {
+	Profile   string
+	Dir       Direction
+	LevelMbps float64
+
+	// Series is the across-repetition mean bitrate in the disrupted
+	// direction at C1, per second (Fig 4a / 5a).
+	Series stats.Series
+	// FarSeries is C2's upstream bitrate (Fig 6: flat for Meet, dipping
+	// for Teams during C1's downlink disruption).
+	FarSeries stats.Series
+	// TTR summarizes time-to-recovery across repetitions (Fig 4b / 5b).
+	// Unrecovered repetitions are excluded; Recovered counts how many
+	// recovered.
+	TTR       stats.Summary
+	Recovered int
+}
+
+// RunDisruption executes the experiment.
+func RunDisruption(cfg DisruptionConfig) DisruptionResult {
+	cfg.defaults()
+	res := DisruptionResult{Profile: cfg.Profile.Name, Dir: cfg.Dir, LevelMbps: cfg.LevelMbps}
+	var ttrs []float64
+	var repSeries, repFar []stats.Series
+	for rep := 0; rep < cfg.Reps; rep++ {
+		seed := cfg.Seed + int64(rep)*31337
+		eng := sim.New(seed)
+		call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, seed)
+		call.Start()
+		eng.Schedule(cfg.DropAt, func() {
+			if cfg.Dir == Uplink {
+				lab.SetUplink(cfg.LevelMbps * 1e6)
+			} else {
+				lab.SetDownlink(cfg.LevelMbps * 1e6)
+			}
+		})
+		eng.Schedule(cfg.DropAt+cfg.DropLen, func() {
+			if cfg.Dir == Uplink {
+				lab.SetUplink(0)
+			} else {
+				lab.SetDownlink(0)
+			}
+		})
+		eng.RunUntil(cfg.CallDur)
+		call.Stop()
+
+		var s stats.Series
+		if cfg.Dir == Uplink {
+			s = call.C1().UpMeter.RateMbps()
+		} else {
+			s = call.C1().DownMeter.RateMbps()
+		}
+		repSeries = append(repSeries, s)
+		repFar = append(repFar, call.Clients[1].UpMeter.RateMbps())
+		if ttr, ok := stats.TTR(s, cfg.DropAt, cfg.DropAt+cfg.DropLen, cfg.TTRRoll, cfg.TTRFrac); ok {
+			ttrs = append(ttrs, ttr.Seconds())
+			res.Recovered++
+		}
+	}
+	res.Series = meanSeries(repSeries)
+	res.FarSeries = meanSeries(repFar)
+	res.TTR = stats.Summarize(ttrs)
+	return res
+}
+
+// meanSeries averages several equally-binned series pointwise.
+func meanSeries(ss []stats.Series) stats.Series {
+	var out stats.Series
+	if len(ss) == 0 {
+		return out
+	}
+	n := ss[0].Len()
+	for _, s := range ss {
+		if s.Len() < n {
+			n = s.Len()
+		}
+	}
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for _, s := range ss {
+			sum += s.Values[i]
+		}
+		out.Add(ss[0].Times[i], sum/float64(len(ss)))
+	}
+	return out
+}
+
+// PaperDisruptionLevels are §4's reduction levels in Mbps.
+func PaperDisruptionLevels() []float64 { return []float64{0.25, 0.5, 0.75, 1.0} }

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"vcalab/internal/vca"
+)
+
+// PrintStatic writes Fig 1/2/3-style rows for one sweep.
+func PrintStatic(w io.Writer, rs []StaticResult) {
+	if len(rs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# %s, %s shaped — median bitrate / encode params / freezes\n",
+		rs[0].Profile, rs[0].Dir)
+	fmt.Fprintf(w, "%8s %14s %6s %6s %6s %8s %6s\n",
+		"cap", "median(Mbps)", "fps", "qp", "width", "freeze", "FIR")
+	for _, r := range rs {
+		capLabel := "inf"
+		if r.CapacityMbps > 0 {
+			capLabel = fmt.Sprintf("%.1f", r.CapacityMbps)
+		}
+		p := r.Out
+		if r.Dir == Downlink {
+			p = r.In
+		}
+		fmt.Fprintf(w, "%8s %7.2f ±%5.2f %6.1f %6.1f %6d %8.3f %6.1f\n",
+			capLabel, r.MedianMbps.Mean, r.MedianMbps.CI90,
+			p.FPS, p.QP, p.Width,
+			r.FreezeRatio.Mean, r.FIRCount.Mean)
+	}
+}
+
+// PrintTable2 writes the unconstrained-utilization table (Table 2).
+func PrintTable2(w io.Writer, rs []StaticResult) {
+	fmt.Fprintln(w, "# Table 2: unconstrained network utilization (Mbps)")
+	fmt.Fprintf(w, "%-14s %10s %10s\n", "VCA", "Upstream", "Downstream")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-14s %10.2f %10.2f\n", r.Profile, r.MeanUp.Mean, r.MeanDown.Mean)
+	}
+}
+
+// PrintDisruption writes a Fig 4b/5b-style row.
+func PrintDisruption(w io.Writer, r DisruptionResult) {
+	fmt.Fprintf(w, "%-14s %-8s drop to %.2f Mbps: TTR %6.1fs ±%.1f (recovered %d/%d)\n",
+		r.Profile, r.Dir, r.LevelMbps, r.TTR.Mean, r.TTR.CI90, r.Recovered, r.TTR.N)
+}
+
+// PrintDisruptionTrace writes the Fig 4a/5a time series as CSV rows.
+func PrintDisruptionTrace(w io.Writer, r DisruptionResult) {
+	fmt.Fprintf(w, "# %s %s disruption to %.2f Mbps — t(s),mbps,far_up_mbps\n",
+		r.Profile, r.Dir, r.LevelMbps)
+	for i := range r.Series.Times {
+		far := 0.0
+		if i < r.FarSeries.Len() {
+			far = r.FarSeries.Values[i]
+		}
+		fmt.Fprintf(w, "%.0f,%.3f,%.3f\n", r.Series.Times[i].Seconds(), r.Series.Values[i], far)
+	}
+}
+
+// PrintCompetition writes a Fig 8/10/12-style row.
+func PrintCompetition(w io.Writer, r CompetitionResult) {
+	fmt.Fprintf(w, "%-32s incumbent share: up %.2f ±%.2f  down %.2f ±%.2f\n",
+		CompetitionLabel(r), r.ShareUp.Mean, r.ShareUp.CI90, r.ShareDown.Mean, r.ShareDown.CI90)
+	if r.Competitor == "netflix" && r.NetflixConns.N > 0 {
+		fmt.Fprintf(w, "%-32s netflix: %.0f connections, peak %.0f parallel\n",
+			"", r.NetflixConns.Mean, r.NetflixPeakParallel.Mean)
+	}
+}
+
+// PrintModality writes Fig 15-style rows.
+func PrintModality(w io.Writer, rs []ModalityResult) {
+	if len(rs) == 0 {
+		return
+	}
+	mode := "gallery"
+	if rs[0].Mode == vca.Speaker {
+		mode = "speaker"
+	}
+	fmt.Fprintf(w, "# %s, %s mode — C1 utilization vs participants\n", rs[0].Profile, mode)
+	fmt.Fprintf(w, "%4s %12s %12s\n", "n", "up(Mbps)", "down(Mbps)")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%4d %6.2f ±%4.2f %6.2f ±%4.2f\n",
+			r.N, r.UpMbps.Mean, r.UpMbps.CI90, r.DownMbps.Mean, r.DownMbps.CI90)
+	}
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+	"vcalab/internal/vca"
+)
+
+// ImpairmentConfig drives the extension experiment the paper lists as
+// future work (§8): VCA behaviour under random loss, added latency and
+// jitter on the access link — impairments a shaped-capacity study cannot
+// produce. Both directions of the access link are impaired, like a lossy
+// last-mile.
+type ImpairmentConfig struct {
+	Profile  *vca.Profile
+	LossPcts []float64     // random loss percentages to sweep, e.g. {0, 1, 2, 5}
+	Jitter   time.Duration // uniform extra delay per packet
+	Reps     int
+	Dur      time.Duration
+	Warmup   time.Duration
+	Seed     int64
+}
+
+func (c *ImpairmentConfig) defaults() {
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	if c.Dur == 0 {
+		c.Dur = 120 * time.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 30 * time.Second
+	}
+}
+
+// ImpairmentResult is one cell of the loss/jitter sweep.
+type ImpairmentResult struct {
+	Profile string
+	LossPct float64
+	Jitter  time.Duration
+
+	// UpMbps is C1's steady-state upstream rate: how much the client
+	// congestion controller surrenders to non-congestive loss.
+	UpMbps stats.Summary
+	// FreezeRatio and FIRCount are the §3.2 quality metrics at the far
+	// receiver of C1's video.
+	FreezeRatio stats.Summary
+	FIRCount    stats.Summary
+}
+
+// RunImpairment sweeps random loss at fixed jitter on an otherwise
+// unconstrained link.
+func RunImpairment(cfg ImpairmentConfig) []ImpairmentResult {
+	cfg.defaults()
+	var out []ImpairmentResult
+	for _, lossPct := range cfg.LossPcts {
+		res := ImpairmentResult{Profile: cfg.Profile.Name, LossPct: lossPct, Jitter: cfg.Jitter}
+		var ups, freezes, firs []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed := cfg.Seed + int64(rep)*17389 + int64(lossPct*100)
+			eng := sim.New(seed)
+			call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, seed)
+			lab.Uplink().SetImpairment(lossPct/100, cfg.Jitter)
+			lab.Downlink().SetImpairment(lossPct/100, cfg.Jitter)
+			call.Start()
+			eng.RunUntil(cfg.Dur)
+			call.Stop()
+			ups = append(ups, call.C1().UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
+			// Quality of C1's video as seen by the far client.
+			far := call.Clients[1].Receiver("c1")
+			freezes = append(freezes, far.FreezeRatio())
+			firs = append(firs, float64(call.C1().FIRsForMyVideo))
+		}
+		res.UpMbps = stats.Summarize(ups)
+		res.FreezeRatio = stats.Summarize(freezes)
+		res.FIRCount = stats.Summarize(firs)
+		out = append(out, res)
+	}
+	return out
+}
+
+// PrintImpairment writes the sweep as a table.
+func PrintImpairment(w io.Writer, rs []ImpairmentResult) {
+	if len(rs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# %s under random loss (jitter %v) — §8 extension\n", rs[0].Profile, rs[0].Jitter)
+	fmt.Fprintf(w, "%8s %10s %10s %8s\n", "loss", "up(Mbps)", "freeze", "FIR")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%7.1f%% %10.2f %10.3f %8.1f\n",
+			r.LossPct, r.UpMbps.Mean, r.FreezeRatio.Mean, r.FIRCount.Mean)
+	}
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+	"vcalab/internal/vca"
+)
+
+// ModalityConfig describes one §6 condition: an n-party call in a viewing
+// mode, with C1 instrumented (and pinned, in speaker mode).
+type ModalityConfig struct {
+	Profile *vca.Profile
+	N       int
+	Mode    vca.ViewMode
+	Reps    int // paper: 5
+	Dur     time.Duration
+	Warmup  time.Duration
+	Seed    int64
+}
+
+func (c *ModalityConfig) defaults() {
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if c.Dur == 0 {
+		c.Dur = 120 * time.Second // the paper's 2-minute calls
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 30 * time.Second
+	}
+}
+
+// ModalityResult is one point of Fig 15.
+type ModalityResult struct {
+	Profile string
+	N       int
+	Mode    vca.ViewMode
+
+	// UpMbps / DownMbps are C1's steady-state mean rates.
+	UpMbps, DownMbps stats.Summary
+}
+
+// RunModality executes one (n, mode) condition.
+func RunModality(cfg ModalityConfig) ModalityResult {
+	cfg.defaults()
+	res := ModalityResult{Profile: cfg.Profile.Name, N: cfg.N, Mode: cfg.Mode}
+	var ups, downs []float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		seed := cfg.Seed + int64(rep)*52361 + int64(cfg.N)
+		eng := sim.New(seed)
+		lab := NewLab(eng, 0, 0)
+		hosts := []*netem.Host{lab.ClientHost("c1")}
+		for i := 2; i <= cfg.N; i++ {
+			hosts = append(hosts, lab.RemoteHost(fmt.Sprintf("c%d", i), RemoteDelay))
+		}
+		sfu := lab.RemoteHost("sfu", SFUDelay)
+		call := vca.NewCall(eng, cfg.Profile, sfu, hosts, vca.CallOptions{Mode: cfg.Mode, Seed: seed})
+		call.Start()
+		eng.RunUntil(cfg.Dur)
+		call.Stop()
+		ups = append(ups, call.C1().UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
+		downs = append(downs, call.C1().DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
+	}
+	res.UpMbps = stats.Summarize(ups)
+	res.DownMbps = stats.Summarize(downs)
+	return res
+}
+
+// ModalitySweep runs n = 2..maxN for one mode.
+func ModalitySweep(prof *vca.Profile, mode vca.ViewMode, maxN, reps int, seed int64) []ModalityResult {
+	var out []ModalityResult
+	for n := 2; n <= maxN; n++ {
+		out = append(out, RunModality(ModalityConfig{
+			Profile: prof, N: n, Mode: mode, Reps: reps, Seed: seed,
+		}))
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"time"
+
+	"vcalab/internal/codec"
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+	"vcalab/internal/vca"
+)
+
+// Direction selects which side of the access link is shaped.
+type Direction int
+
+// Shaping directions.
+const (
+	Uplink Direction = iota
+	Downlink
+)
+
+func (d Direction) String() string {
+	if d == Uplink {
+		return "uplink"
+	}
+	return "downlink"
+}
+
+// StaticConfig describes one §3 sweep condition set.
+type StaticConfig struct {
+	Profile  *vca.Profile
+	Dir      Direction
+	CapsMbps []float64 // 0 = unconstrained
+	Reps     int       // paper: 5
+	Dur      time.Duration
+	Warmup   time.Duration
+	Seed     int64
+}
+
+func (c *StaticConfig) defaults() {
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if c.Dur == 0 {
+		c.Dur = 150 * time.Second // the paper's 2.5-minute calls
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 30 * time.Second
+	}
+}
+
+// StaticResult is one (VCA, direction, capacity) cell of Figs 1–3/Table 2.
+type StaticResult struct {
+	Profile      string
+	Dir          Direction
+	CapacityMbps float64
+
+	// MedianMbps summarizes, across repetitions, the median bitrate in
+	// the shaped direction (sent for uplink, received for downlink) —
+	// the y-axis of Fig 1.
+	MedianMbps stats.Summary
+	// MeanUp / MeanDown are steady-state mean rates (Table 2).
+	MeanUp, MeanDown stats.Summary
+
+	// Out / In are median encode parameters from the WebRTC-stats
+	// emulation (Fig 2): Out for the sent stream, In for the received.
+	Out, In codec.EncodeParams
+
+	// FreezeRatio is freeze time / call time at the receiver (Fig 3a).
+	FreezeRatio stats.Summary
+	// FIRCount is FIRs received for C1's outbound video (Fig 3b).
+	FIRCount stats.Summary
+}
+
+// twoPartyCall builds the standard §2.2 topology on a fresh lab.
+func twoPartyCall(eng *sim.Engine, prof *vca.Profile, upBps, downBps float64, seed int64) (*vca.Call, *Lab) {
+	lab := NewLab(eng, upBps, downBps)
+	c1 := lab.ClientHost("c1")
+	c2 := lab.RemoteHost("c2", RemoteDelay)
+	sfu := lab.RemoteHost("sfu", SFUDelay)
+	call := vca.NewCall(eng, prof, sfu, []*netem.Host{c1, c2}, vca.CallOptions{Seed: seed})
+	return call, lab
+}
+
+// RunStatic executes the sweep and returns one result per capacity.
+func RunStatic(cfg StaticConfig) []StaticResult {
+	cfg.defaults()
+	var out []StaticResult
+	for _, capMbps := range cfg.CapsMbps {
+		res := StaticResult{Profile: cfg.Profile.Name, Dir: cfg.Dir, CapacityMbps: capMbps}
+		var medians, ups, downs, freezes, firs []float64
+		var outP, inP []codec.EncodeParams
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed := cfg.Seed + int64(rep)*104729 + int64(capMbps*1000)
+			eng := sim.New(seed)
+			upBps, downBps := 0.0, 0.0
+			if capMbps > 0 {
+				if cfg.Dir == Uplink {
+					upBps = capMbps * 1e6
+				} else {
+					downBps = capMbps * 1e6
+				}
+			}
+			call, _ := twoPartyCall(eng, cfg.Profile, upBps, downBps, seed)
+			call.Start()
+			eng.RunUntil(cfg.Dur)
+			call.Stop()
+
+			c1 := call.C1()
+			upSeries := c1.UpMeter.RateMbps().Slice(cfg.Warmup, cfg.Dur)
+			downSeries := c1.DownMeter.RateMbps().Slice(cfg.Warmup, cfg.Dur)
+			if cfg.Dir == Uplink {
+				medians = append(medians, stats.Median(upSeries.Values))
+			} else {
+				medians = append(medians, stats.Median(downSeries.Values))
+			}
+			ups = append(ups, c1.UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
+			downs = append(downs, c1.DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
+			freezes = append(freezes, c1.Receiver("c2").FreezeRatio())
+			firs = append(firs, float64(c1.FIRsForMyVideo))
+			outP = append(outP, c1.Recorder.MedianOut(cfg.Warmup, cfg.Dur))
+			inP = append(inP, c1.Recorder.MedianIn(cfg.Warmup, cfg.Dur))
+		}
+		res.MedianMbps = stats.Summarize(medians)
+		res.MeanUp = stats.Summarize(ups)
+		res.MeanDown = stats.Summarize(downs)
+		res.FreezeRatio = stats.Summarize(freezes)
+		res.FIRCount = stats.Summarize(firs)
+		res.Out = medianParams(outP)
+		res.In = medianParams(inP)
+		out = append(out, res)
+	}
+	return out
+}
+
+func medianParams(ps []codec.EncodeParams) codec.EncodeParams {
+	var fps, qp, w []float64
+	for _, p := range ps {
+		fps = append(fps, p.FPS)
+		qp = append(qp, p.QP)
+		w = append(w, float64(p.Width))
+	}
+	return codec.EncodeParams{
+		FPS:   stats.Median(fps),
+		QP:    stats.Median(qp),
+		Width: int(stats.Median(w)),
+	}
+}
+
+// PaperCaps is the paper's shaping grid: {0.3..1.5 step 0.1, 2, 5, 10} Mbps.
+func PaperCaps() []float64 {
+	caps := []float64{}
+	for c := 0.3; c <= 1.51; c += 0.1 {
+		caps = append(caps, float64(int(c*10+0.5))/10)
+	}
+	return append(caps, 2, 5, 10)
+}
+
+// Table2 runs the unconstrained-utilization measurement for a set of
+// profiles (Table 2 of the paper).
+func Table2(profiles []*vca.Profile, reps int, seed int64) []StaticResult {
+	var out []StaticResult
+	for _, p := range profiles {
+		rs := RunStatic(StaticConfig{
+			Profile: p, Dir: Uplink, CapsMbps: []float64{0}, Reps: reps, Seed: seed,
+		})
+		out = append(out, rs...)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package media
+
+import (
+	"testing"
+	"time"
+
+	"vcalab/internal/codec"
+)
+
+// sendFrame delivers a clean n-packet frame at the given time.
+func sendFrame(r *Receiver, now time.Duration, frameSeq int, seq *uint16, n int, key bool) {
+	for i := 0; i < n; i++ {
+		r.OnPacket(now, PacketInfo{
+			Seq: *seq, FrameSeq: frameSeq, FrameEnd: i == n-1,
+			Keyframe: key, Bytes: 1000, SentAt: now - 10*time.Millisecond,
+		})
+		*seq++
+	}
+}
+
+func TestCleanStreamNoFreezesNoFIR(t *testing.T) {
+	r := NewReceiver()
+	var seq uint16
+	for f := 0; f < 300; f++ { // 10s at 30fps
+		sendFrame(r, time.Duration(f)*time.Second/30, f, &seq, 3, f == 0)
+	}
+	if r.FreezeCount() != 0 {
+		t.Errorf("freezes on clean stream: %d", r.FreezeCount())
+	}
+	if r.FIRCount != 0 {
+		t.Errorf("FIRs on clean stream: %d", r.FIRCount)
+	}
+	if r.DisplayedFrames() != 300 {
+		t.Errorf("displayed %d frames, want 300", r.DisplayedFrames())
+	}
+}
+
+func TestIntervalStats(t *testing.T) {
+	r := NewReceiver()
+	var seq uint16
+	for f := 0; f < 30; f++ {
+		sendFrame(r, time.Duration(f)*time.Second/30, f, &seq, 3, f == 0)
+	}
+	st := r.Take(time.Second)
+	if st.Received != 90 {
+		t.Errorf("received = %d, want 90", st.Received)
+	}
+	if st.LossFraction != 0 {
+		t.Errorf("loss = %v on clean stream", st.LossFraction)
+	}
+	wantRate := 90 * 1000 * 8.0
+	if st.RateBps < 0.99*wantRate || st.RateBps > 1.01*wantRate {
+		t.Errorf("rate = %v, want ~%v", st.RateBps, wantRate)
+	}
+	// Second interval resets.
+	st2 := r.Take(2 * time.Second)
+	if st2.Received != 0 || st2.RateBps != 0 {
+		t.Errorf("interval did not reset: %+v", st2)
+	}
+}
+
+func TestLossAccounting(t *testing.T) {
+	r := NewReceiver()
+	// Packets 0..9 with 3,4,5 missing.
+	now := time.Duration(0)
+	for _, s := range []uint16{0, 1, 2, 6, 7, 8, 9} {
+		r.OnPacket(now, PacketInfo{Seq: s, FrameSeq: 0, Bytes: 100, SentAt: now})
+		now += time.Millisecond
+	}
+	st := r.Take(now)
+	if st.Expected != 10 || st.Received != 7 {
+		t.Errorf("expected/received = %d/%d, want 10/7", st.Expected, st.Received)
+	}
+	if st.LossFraction < 0.29 || st.LossFraction > 0.31 {
+		t.Errorf("loss = %v, want 0.3", st.LossFraction)
+	}
+}
+
+func TestSeqWraparound(t *testing.T) {
+	r := NewReceiver()
+	now := time.Duration(0)
+	for _, s := range []uint16{65533, 65534, 65535, 0, 1} {
+		r.OnPacket(now, PacketInfo{Seq: s, FrameSeq: 0, Bytes: 100, SentAt: now})
+		now += time.Millisecond
+	}
+	st := r.Take(now)
+	if st.Expected != 5 || st.Received != 5 {
+		t.Errorf("wraparound expected/received = %d/%d, want 5/5", st.Expected, st.Received)
+	}
+}
+
+func TestQueueDelayTracking(t *testing.T) {
+	r := NewReceiver()
+	// Base OWD 10ms, then standing queue of 100ms.
+	for i := 0; i < 10; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		r.OnPacket(now, PacketInfo{Seq: uint16(i), FrameSeq: i, FrameEnd: true, Bytes: 100,
+			SentAt: now - 10*time.Millisecond})
+	}
+	for i := 10; i < 100; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		r.OnPacket(now, PacketInfo{Seq: uint16(i), FrameSeq: i, FrameEnd: true, Bytes: 100,
+			SentAt: now - 110*time.Millisecond})
+	}
+	st := r.Take(time.Second)
+	if st.QueueDelay < 80*time.Millisecond || st.QueueDelay > 105*time.Millisecond {
+		t.Errorf("queue delay = %v, want ~100ms", st.QueueDelay)
+	}
+}
+
+func TestFreezeDetection(t *testing.T) {
+	r := NewReceiver()
+	var seq uint16
+	now := time.Duration(0)
+	for f := 0; f < 60; f++ {
+		sendFrame(r, now, f, &seq, 2, f == 0)
+		now += time.Second / 30
+	}
+	// A 500ms gap: > max(3*33ms, 33ms+150ms) = 183ms -> freeze.
+	now += 500 * time.Millisecond
+	sendFrame(r, now, 60, &seq, 2, false)
+	if r.FreezeCount() != 1 {
+		t.Errorf("freeze count = %d, want 1", r.FreezeCount())
+	}
+	if r.FreezeTime() < 400*time.Millisecond {
+		t.Errorf("freeze time = %v, want ~533ms", r.FreezeTime())
+	}
+	// A 100ms gap: below threshold, no new freeze.
+	now += 100 * time.Millisecond
+	sendFrame(r, now, 61, &seq, 2, false)
+	if r.FreezeCount() != 1 {
+		t.Errorf("freeze count after small gap = %d, want 1", r.FreezeCount())
+	}
+}
+
+func TestFreezeRatio(t *testing.T) {
+	r := NewReceiver()
+	var seq uint16
+	now := time.Duration(0)
+	for f := 0; f < 30; f++ {
+		sendFrame(r, now, f, &seq, 2, f == 0)
+		now += time.Second / 30
+	}
+	now += time.Second // 1s freeze in a ~2s call
+	sendFrame(r, now, 30, &seq, 2, false)
+	ratio := r.FreezeRatio()
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Errorf("freeze ratio = %v, want ~0.5", ratio)
+	}
+}
+
+func TestDamagedFrameTriggersFIR(t *testing.T) {
+	r := NewReceiver()
+	fired := 0
+	r.OnFIR = func(time.Duration) { fired++ }
+	var seq uint16
+	now := time.Duration(0)
+	for f := 0; f < 10; f++ {
+		sendFrame(r, now, f, &seq, 3, f == 0)
+		now += time.Second / 30
+	}
+	// Frame 10 loses its middle packet.
+	r.OnPacket(now, PacketInfo{Seq: seq, FrameSeq: 10, Bytes: 1000, SentAt: now})
+	seq += 2 // skip one
+	r.OnPacket(now, PacketInfo{Seq: seq, FrameSeq: 10, FrameEnd: true, Bytes: 1000, SentAt: now})
+	seq++
+	// Subsequent frames are undecodable (broken reference chain) until a
+	// keyframe; stall persists past the threshold.
+	for f := 11; f < 30; f++ {
+		now += time.Second / 30
+		sendFrame(r, now, f, &seq, 3, false)
+	}
+	if fired == 0 || r.FIRCount == 0 {
+		t.Fatal("no FIR despite broken reference chain")
+	}
+	// Keyframe heals the chain.
+	now += time.Second / 30
+	sendFrame(r, now, 30, &seq, 3, true)
+	before := r.DisplayedFrames()
+	now += time.Second / 30
+	sendFrame(r, now, 31, &seq, 3, false)
+	if r.DisplayedFrames() != before+1 {
+		t.Error("stream did not resume after keyframe")
+	}
+}
+
+func TestFIRCooldown(t *testing.T) {
+	r := NewReceiver()
+	var seq uint16
+	now := time.Duration(0)
+	sendFrame(r, now, 0, &seq, 3, true)
+	// Break the chain, then pour in undecodable frames for 2 seconds.
+	seq += 5
+	for f := 2; f < 62; f++ {
+		now += time.Second / 30
+		sendFrame(r, now, f, &seq, 3, false)
+	}
+	// 2s of stall with 500ms cooldown: at most ~4-5 FIRs.
+	if r.FIRCount < 2 || r.FIRCount > 6 {
+		t.Errorf("FIR count = %d over 2s stall, want 2-6 (cooldown)", r.FIRCount)
+	}
+}
+
+func TestPaddingCountsForRateNotFrames(t *testing.T) {
+	r := NewReceiver()
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		r.OnPacket(now, PacketInfo{Seq: uint16(i), Bytes: 1000, SentAt: now, Padding: true})
+		now += 10 * time.Millisecond
+	}
+	st := r.Take(now)
+	if st.Received != 10 {
+		t.Errorf("padding not counted in received: %d", st.Received)
+	}
+	if r.DisplayedFrames() != 0 {
+		t.Errorf("padding displayed as frames: %d", r.DisplayedFrames())
+	}
+}
+
+func TestParamsPropagation(t *testing.T) {
+	r := NewReceiver()
+	p := codec.EncodeParams{FPS: 15, Width: 640, Height: 360, QP: 28}
+	r.OnPacket(0, PacketInfo{Seq: 0, FrameSeq: 0, FrameEnd: true, Keyframe: true,
+		Bytes: 500, Params: p, HasParams: true})
+	if r.LastParams != p {
+		t.Errorf("LastParams = %+v, want %+v", r.LastParams, p)
+	}
+}

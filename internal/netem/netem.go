@@ -1,0 +1,312 @@
+// Package netem emulates the paper's laboratory network: hosts wired to
+// routers and switches through rate-limited, delayed, drop-tail links.
+//
+// It plays the role of the two Dell laptops, the Turris Omnia router, and the
+// `tc` traffic shaping of MacMillan et al. (IMC 2021, §2.2). A Link models a
+// unidirectional wire with a serialization rate, a propagation delay and a
+// finite drop-tail queue; Rate can be changed mid-simulation, which is how
+// experiments emulate `tc` re-shaping and the 30-second capacity drops of §4.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"vcalab/internal/sim"
+)
+
+// Addr identifies an application endpoint: a named host plus a port.
+type Addr struct {
+	Host string
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// Packet is the unit of transmission. Size is the full on-wire size in
+// bytes (headers included); Payload carries a typed application object
+// (an rtp.Packet, a TCP segment, ...) that the emulator never inspects.
+type Packet struct {
+	Size    int
+	From    Addr
+	To      Addr
+	Flow    string // accounting label, e.g. "zoom/c1/video"
+	Payload any
+	SentAt  time.Duration // stamped by Host.Send
+}
+
+// Handler consumes delivered packets.
+type Handler interface {
+	Deliver(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(*Packet)
+
+// Deliver calls f(pkt).
+func (f HandlerFunc) Deliver(pkt *Packet) { f(pkt) }
+
+// LinkConfig describes one direction of a wire.
+type LinkConfig struct {
+	// RateBps is the serialization rate in bits per second.
+	// Zero or negative means "effectively infinite" (no serialization
+	// delay, no queueing) — used for the paper's 1 Gbps uncontended hops.
+	RateBps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueBytes bounds the drop-tail queue, excluding the packet
+	// currently being serialized. Zero selects a 200 ms buffer at
+	// RateBps with a 5-MTU floor — the depth of a `tc` token bucket on
+	// a home router: deep enough that loss-based senders see
+	// bufferbloat before loss, shallow enough at sub-Mbps rates that a
+	// full-resolution keyframe burst overflows it (Fig 3b).
+	QueueBytes int
+
+	// LossProb drops each packet independently with this probability
+	// (random impairment, the paper's §8 future work — distinct from
+	// congestive drop-tail loss).
+	LossProb float64
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter] to
+	// each packet's propagation. Jittered packets may reorder, as on a
+	// real path.
+	Jitter time.Duration
+}
+
+// DefaultQueueBytes returns the queue depth used when LinkConfig.QueueBytes
+// is zero: 200 ms worth of bytes at the given rate, floored at 5 full
+// 1500-byte packets so slow links can still absorb a small burst.
+func DefaultQueueBytes(rateBps float64) int {
+	q := int(rateBps / 8 * 0.2)
+	if min := 5 * 1500; q < min {
+		q = min
+	}
+	return q
+}
+
+// Link is a unidirectional, rate-limited, drop-tail wire. Create with
+// NewLink. Counters are exported for measurement code.
+type Link struct {
+	name string
+	eng  *sim.Engine
+	cfg  LinkConfig
+	dst  Handler
+
+	queue      []*Packet
+	queuedSize int
+	busy       bool
+
+	// Statistics, cumulative since creation.
+	Delivered      uint64
+	DeliveredBytes uint64
+	Drops          uint64
+	DroppedBytes   uint64
+
+	onDrop func(*Packet)
+	onSend []func(*Packet)
+}
+
+// OnSend registers fn to observe every packet offered to the link, before
+// any queueing or drop decision — the equivalent of a capture tap at the
+// link ingress, which is where the paper's tcpdump sat.
+func (l *Link) OnSend(fn func(*Packet)) { l.onSend = append(l.onSend, fn) }
+
+// NewLink creates a link that delivers packets to dst.
+func NewLink(eng *sim.Engine, name string, cfg LinkConfig, dst Handler) *Link {
+	if cfg.RateBps > 0 && cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes(cfg.RateBps)
+	}
+	return &Link{name: name, eng: eng, cfg: cfg, dst: dst}
+}
+
+// Name returns the label the link was created with.
+func (l *Link) Name() string { return l.name }
+
+// Rate returns the current serialization rate in bits per second
+// (0 = infinite).
+func (l *Link) Rate() float64 { return l.cfg.RateBps }
+
+// SetRate changes the serialization rate, emulating `tc` re-shaping. The
+// packet currently being serialized finishes at the old rate; queued and
+// future packets use the new one. Passing 0 removes the constraint.
+// The queue depth is NOT resized: the paper's router buffer is physical.
+func (l *Link) SetRate(bps float64) { l.cfg.RateBps = bps }
+
+// SetQueueBytes changes the drop-tail queue limit.
+func (l *Link) SetQueueBytes(n int) { l.cfg.QueueBytes = n }
+
+// QueuedBytes reports the bytes currently waiting (not the one in service).
+func (l *Link) QueuedBytes() int { return l.queuedSize }
+
+// OnDrop registers fn to be called for every packet dropped at this link's
+// queue. Used by tests and by loss instrumentation.
+func (l *Link) OnDrop(fn func(*Packet)) { l.onDrop = fn }
+
+// SetImpairment reconfigures random loss and jitter mid-simulation.
+func (l *Link) SetImpairment(lossProb float64, jitter time.Duration) {
+	l.cfg.LossProb = lossProb
+	l.cfg.Jitter = jitter
+}
+
+// Send enqueues pkt for transmission, dropping it if the queue is full.
+func (l *Link) Send(pkt *Packet) {
+	for _, fn := range l.onSend {
+		fn(pkt)
+	}
+	if l.cfg.LossProb > 0 && l.eng.Rand().Float64() < l.cfg.LossProb {
+		l.drop(pkt)
+		return
+	}
+	if l.cfg.RateBps <= 0 {
+		// Infinite-rate wire: pure propagation delay.
+		l.deliverAfter(pkt, l.cfg.Delay)
+		return
+	}
+	if l.busy {
+		if l.queuedSize+pkt.Size > l.cfg.QueueBytes {
+			l.drop(pkt)
+			return
+		}
+		l.queue = append(l.queue, pkt)
+		l.queuedSize += pkt.Size
+		return
+	}
+	l.transmit(pkt)
+}
+
+func (l *Link) transmit(pkt *Packet) {
+	l.busy = true
+	tx := time.Duration(float64(pkt.Size*8) / l.cfg.RateBps * float64(time.Second))
+	l.eng.Schedule(tx, func() {
+		l.deliverAfter(pkt, l.cfg.Delay)
+		if len(l.queue) > 0 {
+			next := l.queue[0]
+			l.queue = l.queue[1:]
+			l.queuedSize -= next.Size
+			l.transmit(next)
+		} else {
+			l.busy = false
+		}
+	})
+}
+
+func (l *Link) deliverAfter(pkt *Packet, d time.Duration) {
+	if l.cfg.Jitter > 0 {
+		d += time.Duration(l.eng.Rand().Float64() * float64(l.cfg.Jitter))
+	}
+	l.eng.Schedule(d, func() {
+		l.Delivered++
+		l.DeliveredBytes += uint64(pkt.Size)
+		l.dst.Deliver(pkt)
+	})
+}
+
+func (l *Link) drop(pkt *Packet) {
+	l.Drops++
+	l.DroppedBytes += uint64(pkt.Size)
+	if l.onDrop != nil {
+		l.onDrop(pkt)
+	}
+}
+
+// Host is a named endpoint running one or more applications, each bound to
+// a port. Outbound traffic leaves through the host's uplink.
+type Host struct {
+	Name string
+
+	eng    *sim.Engine
+	uplink *Link
+	ports  map[int]Handler
+	taps   []func(*Packet)
+
+	// Unrouteable counts packets delivered to a port nobody listens on.
+	Unrouteable uint64
+}
+
+// NewHost creates a host. Attach its uplink with SetUplink once the
+// topology is wired.
+func NewHost(eng *sim.Engine, name string) *Host {
+	return &Host{Name: name, eng: eng, ports: map[int]Handler{}}
+}
+
+// SetUplink sets the link outbound packets are sent through.
+func (h *Host) SetUplink(l *Link) { h.uplink = l }
+
+// Uplink returns the host's outbound link (may be nil before wiring).
+func (h *Host) Uplink() *Link { return h.uplink }
+
+// Handle registers a handler for a local port, replacing any previous one.
+func (h *Host) Handle(port int, fn Handler) { h.ports[port] = fn }
+
+// HandleFunc registers a handler function for a local port.
+func (h *Host) HandleFunc(port int, fn func(*Packet)) { h.ports[port] = HandlerFunc(fn) }
+
+// Tap registers fn to observe every packet delivered to this host,
+// regardless of port. Taps run before the port handler.
+func (h *Host) Tap(fn func(*Packet)) { h.taps = append(h.taps, fn) }
+
+// Send stamps and transmits pkt through the host uplink. It panics if the
+// host has no uplink, which is always a topology-wiring bug.
+func (h *Host) Send(pkt *Packet) {
+	if h.uplink == nil {
+		panic("netem: host " + h.Name + " has no uplink")
+	}
+	pkt.SentAt = h.eng.Now()
+	h.uplink.Send(pkt)
+}
+
+// Deliver implements Handler: dispatches to the registered port handler.
+func (h *Host) Deliver(pkt *Packet) {
+	for _, tap := range h.taps {
+		tap(pkt)
+	}
+	if hd, ok := h.ports[pkt.To.Port]; ok {
+		hd.Deliver(pkt)
+		return
+	}
+	h.Unrouteable++
+}
+
+// Router forwards packets by destination host name. It also models the
+// paper's unmanaged switch (a switch is just a router whose links are
+// uncontended).
+type Router struct {
+	Name   string
+	routes map[string]*Link
+	def    *Link
+
+	// Unrouteable counts packets with no matching route and no default.
+	Unrouteable uint64
+}
+
+// NewRouter creates an empty router.
+func NewRouter(name string) *Router {
+	return &Router{Name: name, routes: map[string]*Link{}}
+}
+
+// Route directs traffic for the named destination host through l.
+func (r *Router) Route(hostName string, l *Link) { r.routes[hostName] = l }
+
+// DefaultRoute directs traffic with no specific route through l
+// (the "to the Internet" port).
+func (r *Router) DefaultRoute(l *Link) { r.def = l }
+
+// Deliver implements Handler.
+func (r *Router) Deliver(pkt *Packet) {
+	if l, ok := r.routes[pkt.To.Host]; ok {
+		l.Send(pkt)
+		return
+	}
+	if r.def != nil {
+		r.def.Send(pkt)
+		return
+	}
+	r.Unrouteable++
+}
+
+// Duplex wires a bidirectional connection between two handlers and returns
+// the two directed links (a→b, b→a), both configured identically.
+func Duplex(eng *sim.Engine, name string, cfg LinkConfig, a, b Handler) (ab, ba *Link) {
+	ab = NewLink(eng, name+"/fwd", cfg, b)
+	ba = NewLink(eng, name+"/rev", cfg, a)
+	return ab, ba
+}

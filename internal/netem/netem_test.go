@@ -1,0 +1,313 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vcalab/internal/sim"
+)
+
+type sink struct {
+	pkts  []*Packet
+	times []time.Duration
+	eng   *sim.Engine
+}
+
+func (s *sink) Deliver(p *Packet) {
+	s.pkts = append(s.pkts, p)
+	if s.eng != nil {
+		s.times = append(s.times, s.eng.Now())
+	}
+}
+
+func TestLinkSerializationDelay(t *testing.T) {
+	eng := sim.New(1)
+	s := &sink{eng: eng}
+	// 1 Mbps, 10 ms propagation: a 1250-byte packet serializes in 10 ms.
+	l := NewLink(eng, "up", LinkConfig{RateBps: 1e6, Delay: 10 * time.Millisecond}, s)
+	l.Send(&Packet{Size: 1250})
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(s.pkts))
+	}
+	if got, want := s.times[0], 20*time.Millisecond; got != want {
+		t.Errorf("delivery at %v, want %v (10ms tx + 10ms prop)", got, want)
+	}
+}
+
+func TestLinkBackToBackSpacing(t *testing.T) {
+	eng := sim.New(1)
+	s := &sink{eng: eng}
+	l := NewLink(eng, "up", LinkConfig{RateBps: 1e6}, s)
+	for i := 0; i < 3; i++ {
+		l.Send(&Packet{Size: 1250}) // 10 ms each at 1 Mbps
+	}
+	eng.Run()
+	if len(s.pkts) != 3 {
+		t.Fatalf("delivered %d, want 3", len(s.pkts))
+	}
+	for i, want := range []time.Duration{10, 20, 30} {
+		if s.times[i] != want*time.Millisecond {
+			t.Errorf("packet %d at %v, want %vms", i, s.times[i], want)
+		}
+	}
+}
+
+func TestLinkInfiniteRate(t *testing.T) {
+	eng := sim.New(1)
+	s := &sink{eng: eng}
+	l := NewLink(eng, "wire", LinkConfig{Delay: 2 * time.Millisecond}, s)
+	for i := 0; i < 100; i++ {
+		l.Send(&Packet{Size: 1500})
+	}
+	eng.Run()
+	if len(s.pkts) != 100 {
+		t.Fatalf("delivered %d, want 100 (no queue on infinite link)", len(s.pkts))
+	}
+	for _, at := range s.times {
+		if at != 2*time.Millisecond {
+			t.Fatalf("delivery at %v, want 2ms", at)
+		}
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	eng := sim.New(1)
+	s := &sink{eng: eng}
+	// Queue of exactly 2 packets beyond the one in service.
+	l := NewLink(eng, "up", LinkConfig{RateBps: 1e6, QueueBytes: 2500}, s)
+	var dropped []*Packet
+	l.OnDrop(func(p *Packet) { dropped = append(dropped, p) })
+	for i := 0; i < 5; i++ {
+		l.Send(&Packet{Size: 1250, Flow: "f"})
+	}
+	eng.Run()
+	if len(s.pkts) != 3 {
+		t.Errorf("delivered %d, want 3 (1 in service + 2 queued)", len(s.pkts))
+	}
+	if len(dropped) != 2 || l.Drops != 2 {
+		t.Errorf("dropped %d (counter %d), want 2", len(dropped), l.Drops)
+	}
+	if l.DroppedBytes != 2500 {
+		t.Errorf("DroppedBytes = %d, want 2500", l.DroppedBytes)
+	}
+}
+
+func TestLinkSetRateMidStream(t *testing.T) {
+	eng := sim.New(1)
+	s := &sink{eng: eng}
+	l := NewLink(eng, "up", LinkConfig{RateBps: 1e6, QueueBytes: 1 << 20}, s)
+	l.Send(&Packet{Size: 1250}) // serializes at 1 Mbps: done at 10ms
+	l.Send(&Packet{Size: 1250}) // queued
+	// Halve the rate while the first packet is in flight.
+	eng.Schedule(5*time.Millisecond, func() { l.SetRate(0.5e6) })
+	eng.Run()
+	// First finishes at old rate (10ms); second takes 20ms at the new rate.
+	if s.times[0] != 10*time.Millisecond {
+		t.Errorf("first delivery %v, want 10ms", s.times[0])
+	}
+	if s.times[1] != 30*time.Millisecond {
+		t.Errorf("second delivery %v, want 30ms", s.times[1])
+	}
+}
+
+func TestDefaultQueueBytes(t *testing.T) {
+	if got := DefaultQueueBytes(1e6); got != 25000 {
+		t.Errorf("1 Mbps queue = %d, want 25000 (200ms)", got)
+	}
+	if got := DefaultQueueBytes(100e3); got != 5*1500 {
+		t.Errorf("100 kbps queue = %d, want floor %d", got, 5*1500)
+	}
+}
+
+func TestHostPortDispatchAndTap(t *testing.T) {
+	eng := sim.New(1)
+	h := NewHost(eng, "c1")
+	var got []int
+	h.HandleFunc(5000, func(p *Packet) { got = append(got, 5000) })
+	h.HandleFunc(5002, func(p *Packet) { got = append(got, 5002) })
+	tapped := 0
+	h.Tap(func(p *Packet) { tapped++ })
+	h.Deliver(&Packet{To: Addr{Host: "c1", Port: 5002}})
+	h.Deliver(&Packet{To: Addr{Host: "c1", Port: 5000}})
+	h.Deliver(&Packet{To: Addr{Host: "c1", Port: 9}})
+	if len(got) != 2 || got[0] != 5002 || got[1] != 5000 {
+		t.Errorf("dispatch order = %v", got)
+	}
+	if h.Unrouteable != 1 {
+		t.Errorf("Unrouteable = %d, want 1", h.Unrouteable)
+	}
+	if tapped != 3 {
+		t.Errorf("tapped = %d, want 3 (taps see all ports)", tapped)
+	}
+}
+
+func TestHostSendWithoutUplinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send without uplink did not panic")
+		}
+	}()
+	NewHost(sim.New(1), "c1").Send(&Packet{})
+}
+
+func TestRouterRouting(t *testing.T) {
+	eng := sim.New(1)
+	a, b, def := &sink{}, &sink{}, &sink{}
+	r := NewRouter("rt")
+	r.Route("a", NewLink(eng, "ra", LinkConfig{}, a))
+	r.Route("b", NewLink(eng, "rb", LinkConfig{}, b))
+	r.Deliver(&Packet{To: Addr{Host: "a"}})
+	r.Deliver(&Packet{To: Addr{Host: "b"}})
+	r.Deliver(&Packet{To: Addr{Host: "zzz"}})
+	if r.Unrouteable != 1 {
+		t.Errorf("Unrouteable = %d, want 1 without default", r.Unrouteable)
+	}
+	r.DefaultRoute(NewLink(eng, "rdef", LinkConfig{}, def))
+	r.Deliver(&Packet{To: Addr{Host: "zzz"}})
+	eng.Run()
+	if len(a.pkts) != 1 || len(b.pkts) != 1 || len(def.pkts) != 1 {
+		t.Errorf("routing counts a=%d b=%d def=%d, want 1 each",
+			len(a.pkts), len(b.pkts), len(def.pkts))
+	}
+}
+
+func TestEndToEndTopology(t *testing.T) {
+	// C1 --(shaped 1 Mbps)--> router --(fast)--> server host.
+	eng := sim.New(1)
+	c1 := NewHost(eng, "c1")
+	srv := NewHost(eng, "srv")
+	rt := NewRouter("rt")
+	c1.SetUplink(NewLink(eng, "c1-rt", LinkConfig{RateBps: 1e6, Delay: time.Millisecond}, rt))
+	rt.Route("srv", NewLink(eng, "rt-srv", LinkConfig{Delay: 9 * time.Millisecond}, srv))
+	var arrived time.Duration
+	srv.HandleFunc(80, func(p *Packet) { arrived = eng.Now() })
+	c1.Send(&Packet{Size: 1250, From: Addr{"c1", 1}, To: Addr{"srv", 80}})
+	eng.Run()
+	// 10 ms serialization + 1 ms + 9 ms propagation.
+	if arrived != 20*time.Millisecond {
+		t.Errorf("arrival at %v, want 20ms", arrived)
+	}
+}
+
+// Property: every packet sent into a shaped link is either delivered or
+// dropped — none vanish, none duplicate — and delivered+dropped bytes
+// equal sent bytes.
+func TestQuickLinkConservation(t *testing.T) {
+	f := func(sizes []uint16, rateKbps uint16, queuePkts uint8) bool {
+		eng := sim.New(3)
+		s := &sink{}
+		rate := float64(rateKbps%5000+10) * 1000
+		l := NewLink(eng, "l", LinkConfig{
+			RateBps:    rate,
+			QueueBytes: (int(queuePkts%16) + 1) * 1500,
+		}, s)
+		var sent uint64
+		for _, raw := range sizes {
+			size := int(raw%1400) + 100
+			sent += uint64(size)
+			l.Send(&Packet{Size: size})
+		}
+		eng.Run()
+		return l.DeliveredBytes+l.DroppedBytes == sent &&
+			int(l.Delivered) == len(s.pkts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a link never reorders packets.
+func TestQuickLinkFIFO(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng := sim.New(4)
+		s := &sink{}
+		l := NewLink(eng, "l", LinkConfig{RateBps: 1e6, QueueBytes: 1 << 30}, s)
+		for i, raw := range sizes {
+			l.Send(&Packet{Size: int(raw%1400) + 100, Flow: "", Payload: i})
+		}
+		eng.Run()
+		for i, p := range s.pkts {
+			if p.Payload.(int) != i {
+				return false
+			}
+		}
+		return len(s.pkts) == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLinkThroughput(b *testing.B) {
+	eng := sim.New(1)
+	s := &sink{}
+	l := NewLink(eng, "l", LinkConfig{RateBps: 10e6, QueueBytes: 1 << 30}, s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Send(&Packet{Size: 1200})
+	}
+	eng.Run()
+}
+
+func TestRandomLoss(t *testing.T) {
+	eng := sim.New(9)
+	s := &sink{}
+	l := NewLink(eng, "lossy", LinkConfig{Delay: time.Millisecond, LossProb: 0.2}, s)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		l.Send(&Packet{Size: 100})
+	}
+	eng.Run()
+	lossRate := float64(l.Drops) / n
+	if lossRate < 0.17 || lossRate > 0.23 {
+		t.Errorf("loss rate = %.3f, want ~0.2", lossRate)
+	}
+	if int(l.Delivered)+int(l.Drops) != n {
+		t.Errorf("conservation: %d delivered + %d dropped != %d", l.Delivered, l.Drops, n)
+	}
+}
+
+func TestJitterSpreadsDelay(t *testing.T) {
+	eng := sim.New(10)
+	s := &sink{eng: eng}
+	l := NewLink(eng, "jittery", LinkConfig{Delay: 10 * time.Millisecond, Jitter: 20 * time.Millisecond}, s)
+	for i := 0; i < 200; i++ {
+		l.Send(&Packet{Size: 100})
+	}
+	eng.Run()
+	minAt, maxAt := s.times[0], s.times[0]
+	for _, at := range s.times {
+		if at < minAt {
+			minAt = at
+		}
+		if at > maxAt {
+			maxAt = at
+		}
+	}
+	if minAt < 10*time.Millisecond || maxAt > 30*time.Millisecond {
+		t.Errorf("jittered delays outside [10ms,30ms]: min %v max %v", minAt, maxAt)
+	}
+	if maxAt-minAt < 10*time.Millisecond {
+		t.Errorf("jitter spread too narrow: %v", maxAt-minAt)
+	}
+}
+
+func TestSetImpairment(t *testing.T) {
+	eng := sim.New(11)
+	s := &sink{}
+	l := NewLink(eng, "l", LinkConfig{Delay: time.Millisecond}, s)
+	l.SetImpairment(1.0, 0) // drop everything
+	l.Send(&Packet{Size: 100})
+	eng.Run()
+	if l.Drops != 1 || len(s.pkts) != 0 {
+		t.Errorf("full-loss link delivered a packet")
+	}
+	l.SetImpairment(0, 0)
+	l.Send(&Packet{Size: 100})
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Errorf("cleared impairment still dropping")
+	}
+}

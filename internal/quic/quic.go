@@ -1,0 +1,53 @@
+// Package quic models a QUIC transport flow for the YouTube competitor of
+// §5.3. The paper notes YouTube rides QUIC (UDP) with CUBIC-style
+// congestion control whose TCP-friendliness depends on configuration
+// (Corbel et al.); at the congestion-dynamics level this is a CUBIC loop
+// with QUIC's smaller per-packet overhead and no handshake amplification —
+// so the implementation composes the SACK/CUBIC machinery of internal/tcp
+// with QUIC framing parameters.
+package quic
+
+import (
+	"time"
+
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/tcp"
+)
+
+// Config tunes a QUIC flow; zero values take QUIC-appropriate defaults.
+type Config struct {
+	// MaxDatagram is the UDP datagram payload size (default 1350, the
+	// common QUIC value).
+	MaxDatagram int
+	// AckSize is the ACK-frame datagram size (default 35).
+	AckSize int
+}
+
+// Flow is a unidirectional QUIC transfer. It exposes the same lifecycle as
+// tcp.Flow.
+type Flow struct {
+	*tcp.Flow
+}
+
+// NewFlow wires a QUIC flow from src to dst:port.
+func NewFlow(eng *sim.Engine, name string, src, dst *netem.Host, port int, cfg Config) *Flow {
+	if cfg.MaxDatagram == 0 {
+		cfg.MaxDatagram = 1350
+	}
+	if cfg.AckSize == 0 {
+		cfg.AckSize = 35
+	}
+	inner := tcp.NewFlow(eng, name, src, dst, port, tcp.Config{
+		MSS: cfg.MaxDatagram,
+		// QUIC: ~28 B UDP/IP plus short header ~12 B.
+		WireOverhead: 40,
+		AckSize:      cfg.AckSize,
+		// QUIC default initial window is 10 datagrams, like TCP.
+		InitCwnd: 10,
+		Beta:     0.7,
+		C:        0.4,
+		RTOMin:   200 * time.Millisecond,
+	})
+	return &Flow{Flow: inner}
+}

@@ -1,0 +1,72 @@
+package quic
+
+import (
+	"testing"
+	"time"
+
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+)
+
+func pair(eng *sim.Engine, rateBps float64) (*netem.Host, *netem.Host) {
+	src := netem.NewHost(eng, "src")
+	dst := netem.NewHost(eng, "dst")
+	rt := netem.NewRouter("rt")
+	src.SetUplink(netem.NewLink(eng, "src-rt", netem.LinkConfig{RateBps: rateBps, Delay: 5 * time.Millisecond}, rt))
+	dst.SetUplink(netem.NewLink(eng, "dst-rt", netem.LinkConfig{Delay: 5 * time.Millisecond}, rt))
+	rt.Route("src", netem.NewLink(eng, "rt-src", netem.LinkConfig{}, src))
+	rt.Route("dst", netem.NewLink(eng, "rt-dst", netem.LinkConfig{}, dst))
+	return src, dst
+}
+
+func TestQUICFlowFillsLink(t *testing.T) {
+	eng := sim.New(1)
+	src, dst := pair(eng, 5e6)
+	f := NewFlow(eng, "yt", src, dst, 443, Config{})
+	m := stats.NewMeter(time.Second)
+	f.OnDeliver(func(at time.Duration, n int) { m.AddBytes(at, n) })
+	f.Start(0)
+	eng.RunUntil(20 * time.Second)
+	f.Stop()
+	got := m.MeanRateMbps(5*time.Second, 20*time.Second)
+	if got < 4.0 || got > 5.1 {
+		t.Errorf("QUIC goodput = %.2f Mbps on 5 Mbps link", got)
+	}
+}
+
+func TestQUICBoundedTransfer(t *testing.T) {
+	eng := sim.New(2)
+	src, dst := pair(eng, 2e6)
+	f := NewFlow(eng, "yt", src, dst, 443, Config{})
+	done := false
+	f.OnComplete(func() { done = true })
+	f.Start(500_000)
+	eng.RunUntil(30 * time.Second)
+	if !done {
+		t.Error("bounded QUIC transfer never completed")
+	}
+}
+
+func TestQUICDatagramSizing(t *testing.T) {
+	eng := sim.New(3)
+	src, dst := pair(eng, 1e6)
+	seen := 0
+	maxSize := 0
+	dstTap := func(p *netem.Packet) {
+		seen++
+		if p.Size > maxSize {
+			maxSize = p.Size
+		}
+	}
+	dst.Tap(dstTap)
+	f := NewFlow(eng, "yt", src, dst, 443, Config{})
+	f.Start(100_000)
+	eng.RunUntil(10 * time.Second)
+	if seen == 0 {
+		t.Fatal("no datagrams delivered")
+	}
+	if maxSize != 1350+40 {
+		t.Errorf("max datagram wire size = %d, want 1390", maxSize)
+	}
+}

@@ -1,0 +1,399 @@
+package rtp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// RTCP packet types (RFC 3550 §12.1, RFC 4585, RFC 5104).
+const (
+	TypeSenderReport   = 200
+	TypeReceiverReport = 201
+	TypeSDES           = 202
+	TypeBye            = 203
+	TypeRTPFB          = 205 // transport-layer feedback (NACK)
+	TypePSFB           = 206 // payload-specific feedback (PLI, FIR, REMB)
+)
+
+// Feedback message types within RTPFB / PSFB.
+const (
+	FMTNack = 1  // RTPFB
+	FMTPLI  = 1  // PSFB
+	FMTFIR  = 4  // PSFB
+	FMTALFB = 15 // PSFB application layer feedback: carries REMB
+)
+
+// RTCPPacket is implemented by all RTCP message types in this package.
+type RTCPPacket interface {
+	// MarshalRTCP serializes the message including its common header.
+	MarshalRTCP() ([]byte, error)
+}
+
+// ReportBlock is the per-source reception report block of SR/RR packets.
+type ReportBlock struct {
+	SSRC            uint32
+	FractionLost    uint8  // fixed point /256
+	CumulativeLost  uint32 // 24-bit on the wire
+	HighestSeq      uint32
+	Jitter          uint32
+	LastSR          uint32
+	DelaySinceLasSR uint32
+}
+
+const reportBlockSize = 24
+
+func (b *ReportBlock) marshalTo(buf []byte) {
+	binary.BigEndian.PutUint32(buf[0:], b.SSRC)
+	buf[4] = b.FractionLost
+	buf[5] = byte(b.CumulativeLost >> 16)
+	buf[6] = byte(b.CumulativeLost >> 8)
+	buf[7] = byte(b.CumulativeLost)
+	binary.BigEndian.PutUint32(buf[8:], b.HighestSeq)
+	binary.BigEndian.PutUint32(buf[12:], b.Jitter)
+	binary.BigEndian.PutUint32(buf[16:], b.LastSR)
+	binary.BigEndian.PutUint32(buf[20:], b.DelaySinceLasSR)
+}
+
+func (b *ReportBlock) unmarshalFrom(buf []byte) error {
+	if len(buf) < reportBlockSize {
+		return ErrShortPacket
+	}
+	b.SSRC = binary.BigEndian.Uint32(buf[0:])
+	b.FractionLost = buf[4]
+	b.CumulativeLost = uint32(buf[5])<<16 | uint32(buf[6])<<8 | uint32(buf[7])
+	b.HighestSeq = binary.BigEndian.Uint32(buf[8:])
+	b.Jitter = binary.BigEndian.Uint32(buf[12:])
+	b.LastSR = binary.BigEndian.Uint32(buf[16:])
+	b.DelaySinceLasSR = binary.BigEndian.Uint32(buf[20:])
+	return nil
+}
+
+func rtcpHeader(count uint8, pt uint8, lengthBytes int) []byte {
+	buf := make([]byte, lengthBytes)
+	buf[0] = Version<<6 | count&0x1f
+	buf[1] = pt
+	binary.BigEndian.PutUint16(buf[2:], uint16(lengthBytes/4-1))
+	return buf
+}
+
+// SenderReport is an RTCP SR.
+type SenderReport struct {
+	SSRC        uint32
+	NTPTime     uint64
+	RTPTime     uint32
+	PacketCount uint32
+	OctetCount  uint32
+	Reports     []ReportBlock
+}
+
+// MarshalRTCP implements RTCPPacket.
+func (sr *SenderReport) MarshalRTCP() ([]byte, error) {
+	if len(sr.Reports) > 31 {
+		return nil, fmt.Errorf("rtp: %d report blocks exceeds 31", len(sr.Reports))
+	}
+	buf := rtcpHeader(uint8(len(sr.Reports)), TypeSenderReport, 28+reportBlockSize*len(sr.Reports))
+	binary.BigEndian.PutUint32(buf[4:], sr.SSRC)
+	binary.BigEndian.PutUint64(buf[8:], sr.NTPTime)
+	binary.BigEndian.PutUint32(buf[16:], sr.RTPTime)
+	binary.BigEndian.PutUint32(buf[20:], sr.PacketCount)
+	binary.BigEndian.PutUint32(buf[24:], sr.OctetCount)
+	for i := range sr.Reports {
+		sr.Reports[i].marshalTo(buf[28+i*reportBlockSize:])
+	}
+	return buf, nil
+}
+
+func (sr *SenderReport) unmarshalBody(buf []byte, count int) error {
+	if len(buf) < 24+reportBlockSize*count {
+		return ErrShortPacket
+	}
+	sr.SSRC = binary.BigEndian.Uint32(buf[0:])
+	sr.NTPTime = binary.BigEndian.Uint64(buf[4:])
+	sr.RTPTime = binary.BigEndian.Uint32(buf[12:])
+	sr.PacketCount = binary.BigEndian.Uint32(buf[16:])
+	sr.OctetCount = binary.BigEndian.Uint32(buf[20:])
+	sr.Reports = make([]ReportBlock, count)
+	for i := 0; i < count; i++ {
+		if err := sr.Reports[i].unmarshalFrom(buf[24+i*reportBlockSize:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReceiverReport is an RTCP RR.
+type ReceiverReport struct {
+	SSRC    uint32
+	Reports []ReportBlock
+}
+
+// MarshalRTCP implements RTCPPacket.
+func (rr *ReceiverReport) MarshalRTCP() ([]byte, error) {
+	if len(rr.Reports) > 31 {
+		return nil, fmt.Errorf("rtp: %d report blocks exceeds 31", len(rr.Reports))
+	}
+	buf := rtcpHeader(uint8(len(rr.Reports)), TypeReceiverReport, 8+reportBlockSize*len(rr.Reports))
+	binary.BigEndian.PutUint32(buf[4:], rr.SSRC)
+	for i := range rr.Reports {
+		rr.Reports[i].marshalTo(buf[8+i*reportBlockSize:])
+	}
+	return buf, nil
+}
+
+func (rr *ReceiverReport) unmarshalBody(buf []byte, count int) error {
+	if len(buf) < 4+reportBlockSize*count {
+		return ErrShortPacket
+	}
+	rr.SSRC = binary.BigEndian.Uint32(buf[0:])
+	rr.Reports = make([]ReportBlock, count)
+	for i := 0; i < count; i++ {
+		if err := rr.Reports[i].unmarshalFrom(buf[4+i*reportBlockSize:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PictureLossIndication (PSFB FMT=1, RFC 4585 §6.3.1).
+type PictureLossIndication struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32
+}
+
+// MarshalRTCP implements RTCPPacket.
+func (p *PictureLossIndication) MarshalRTCP() ([]byte, error) {
+	buf := rtcpHeader(FMTPLI, TypePSFB, 12)
+	binary.BigEndian.PutUint32(buf[4:], p.SenderSSRC)
+	binary.BigEndian.PutUint32(buf[8:], p.MediaSSRC)
+	return buf, nil
+}
+
+// FullIntraRequest (PSFB FMT=4, RFC 5104 §4.3.1). The paper uses the FIR
+// count from WebRTC stats as its uplink freeze proxy (Fig 3b).
+type FullIntraRequest struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32
+	SSRC       uint32 // FCI target
+	SeqNo      uint8
+}
+
+// MarshalRTCP implements RTCPPacket.
+func (f *FullIntraRequest) MarshalRTCP() ([]byte, error) {
+	buf := rtcpHeader(FMTFIR, TypePSFB, 20)
+	binary.BigEndian.PutUint32(buf[4:], f.SenderSSRC)
+	binary.BigEndian.PutUint32(buf[8:], f.MediaSSRC)
+	binary.BigEndian.PutUint32(buf[12:], f.SSRC)
+	buf[16] = f.SeqNo
+	return buf, nil
+}
+
+// ReceiverEstimatedMaxBitrate carries a REMB bandwidth estimate
+// (draft-alvestrand-rmcat-remb). Google Meet's GCC receiver side reports
+// its estimate this way.
+type ReceiverEstimatedMaxBitrate struct {
+	SenderSSRC uint32
+	Bitrate    float64 // bits per second
+	SSRCs      []uint32
+}
+
+// MarshalRTCP implements RTCPPacket.
+func (r *ReceiverEstimatedMaxBitrate) MarshalRTCP() ([]byte, error) {
+	if len(r.SSRCs) > 255 {
+		return nil, fmt.Errorf("rtp: %d REMB SSRCs exceeds 255", len(r.SSRCs))
+	}
+	buf := rtcpHeader(FMTALFB, TypePSFB, 20+4*len(r.SSRCs))
+	binary.BigEndian.PutUint32(buf[4:], r.SenderSSRC)
+	// media SSRC must be zero for REMB
+	copy(buf[12:16], "REMB")
+	buf[16] = uint8(len(r.SSRCs))
+	// 6-bit exponent, 18-bit mantissa.
+	mantissa := r.Bitrate
+	exp := 0
+	for mantissa >= 1<<18 {
+		mantissa /= 2
+		exp++
+	}
+	if exp > 63 {
+		return nil, fmt.Errorf("rtp: REMB bitrate %g unrepresentable", r.Bitrate)
+	}
+	m := uint32(math.Round(mantissa))
+	if m >= 1<<18 { // rounding pushed it over
+		m >>= 1
+		exp++
+	}
+	buf[17] = byte(exp<<2) | byte(m>>16)
+	buf[18] = byte(m >> 8)
+	buf[19] = byte(m)
+	for i, s := range r.SSRCs {
+		binary.BigEndian.PutUint32(buf[20+4*i:], s)
+	}
+	return buf, nil
+}
+
+func (r *ReceiverEstimatedMaxBitrate) unmarshalBody(buf []byte) error {
+	// buf starts at sender SSRC.
+	if len(buf) < 16 {
+		return ErrShortPacket
+	}
+	if string(buf[8:12]) != "REMB" {
+		return fmt.Errorf("rtp: PSFB ALFB is not REMB")
+	}
+	r.SenderSSRC = binary.BigEndian.Uint32(buf[0:])
+	n := int(buf[12])
+	exp := int(buf[13] >> 2)
+	m := uint32(buf[13]&0x3)<<16 | uint32(buf[14])<<8 | uint32(buf[15])
+	r.Bitrate = float64(m) * math.Pow(2, float64(exp))
+	if len(buf) < 16+4*n {
+		return ErrShortPacket
+	}
+	r.SSRCs = make([]uint32, n)
+	for i := range r.SSRCs {
+		r.SSRCs[i] = binary.BigEndian.Uint32(buf[16+4*i:])
+	}
+	return nil
+}
+
+// Nack is a generic NACK (RTPFB FMT=1): one (PID, BLP) pair per entry.
+type Nack struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32
+	Pairs      []NackPair
+}
+
+// NackPair names a lost packet and a bitmask of 16 following losses.
+type NackPair struct {
+	PacketID uint16
+	Bitmask  uint16
+}
+
+// LostSeqs expands the pair into the explicit sequence-number list.
+func (p NackPair) LostSeqs() []uint16 {
+	seqs := []uint16{p.PacketID}
+	for i := 0; i < 16; i++ {
+		if p.Bitmask&(1<<i) != 0 {
+			seqs = append(seqs, p.PacketID+uint16(i)+1)
+		}
+	}
+	return seqs
+}
+
+// MarshalRTCP implements RTCPPacket.
+func (n *Nack) MarshalRTCP() ([]byte, error) {
+	buf := rtcpHeader(FMTNack, TypeRTPFB, 12+4*len(n.Pairs))
+	binary.BigEndian.PutUint32(buf[4:], n.SenderSSRC)
+	binary.BigEndian.PutUint32(buf[8:], n.MediaSSRC)
+	for i, p := range n.Pairs {
+		binary.BigEndian.PutUint16(buf[12+4*i:], p.PacketID)
+		binary.BigEndian.PutUint16(buf[14+4*i:], p.Bitmask)
+	}
+	return buf, nil
+}
+
+// UnmarshalRTCP parses one RTCP message from buf and returns it along with
+// the number of bytes consumed. Compound RTCP packets are parsed by calling
+// this in a loop (see UnmarshalCompound).
+func UnmarshalRTCP(buf []byte) (RTCPPacket, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrShortPacket
+	}
+	if buf[0]>>6 != Version {
+		return nil, 0, ErrBadVersion
+	}
+	count := int(buf[0] & 0x1f)
+	pt := buf[1]
+	length := (int(binary.BigEndian.Uint16(buf[2:])) + 1) * 4
+	if len(buf) < length {
+		return nil, 0, ErrShortPacket
+	}
+	body := buf[4:length]
+	switch pt {
+	case TypeSenderReport:
+		sr := &SenderReport{}
+		if err := sr.unmarshalBody(body, count); err != nil {
+			return nil, 0, err
+		}
+		return sr, length, nil
+	case TypeReceiverReport:
+		rr := &ReceiverReport{}
+		if err := rr.unmarshalBody(body, count); err != nil {
+			return nil, 0, err
+		}
+		return rr, length, nil
+	case TypePSFB:
+		switch count {
+		case FMTPLI:
+			if len(body) < 8 {
+				return nil, 0, ErrShortPacket
+			}
+			return &PictureLossIndication{
+				SenderSSRC: binary.BigEndian.Uint32(body[0:]),
+				MediaSSRC:  binary.BigEndian.Uint32(body[4:]),
+			}, length, nil
+		case FMTFIR:
+			if len(body) < 16 {
+				return nil, 0, ErrShortPacket
+			}
+			return &FullIntraRequest{
+				SenderSSRC: binary.BigEndian.Uint32(body[0:]),
+				MediaSSRC:  binary.BigEndian.Uint32(body[4:]),
+				SSRC:       binary.BigEndian.Uint32(body[8:]),
+				SeqNo:      body[12],
+			}, length, nil
+		case FMTALFB:
+			r := &ReceiverEstimatedMaxBitrate{}
+			if err := r.unmarshalBody(body); err != nil {
+				return nil, 0, err
+			}
+			return r, length, nil
+		}
+		return nil, 0, fmt.Errorf("rtp: unsupported PSFB FMT %d", count)
+	case TypeRTPFB:
+		if count != FMTNack {
+			return nil, 0, fmt.Errorf("rtp: unsupported RTPFB FMT %d", count)
+		}
+		if len(body) < 8 || (len(body)-8)%4 != 0 {
+			return nil, 0, ErrShortPacket
+		}
+		n := &Nack{
+			SenderSSRC: binary.BigEndian.Uint32(body[0:]),
+			MediaSSRC:  binary.BigEndian.Uint32(body[4:]),
+		}
+		for off := 8; off < len(body); off += 4 {
+			n.Pairs = append(n.Pairs, NackPair{
+				PacketID: binary.BigEndian.Uint16(body[off:]),
+				Bitmask:  binary.BigEndian.Uint16(body[off+2:]),
+			})
+		}
+		return n, length, nil
+	}
+	return nil, 0, fmt.Errorf("rtp: unsupported RTCP packet type %d", pt)
+}
+
+// MarshalCompound concatenates several RTCP messages into one compound
+// packet, as RFC 3550 requires for on-the-wire RTCP.
+func MarshalCompound(pkts ...RTCPPacket) ([]byte, error) {
+	var out []byte
+	for _, p := range pkts {
+		b, err := p.MarshalRTCP()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// UnmarshalCompound parses every message in a compound RTCP packet.
+func UnmarshalCompound(buf []byte) ([]RTCPPacket, error) {
+	var out []RTCPPacket
+	for len(buf) > 0 {
+		p, n, err := UnmarshalRTCP(buf)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+		buf = buf[n:]
+	}
+	return out, nil
+}

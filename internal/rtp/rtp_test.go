@@ -1,0 +1,331 @@
+package rtp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Marker:         true,
+		PayloadType:    96,
+		SequenceNumber: 0xBEEF,
+		Timestamp:      0xDEADBEEF,
+		SSRC:           0x12345678,
+		CSRC:           []uint32{1, 2, 3},
+	}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != h.MarshalSize() {
+		t.Errorf("len = %d, MarshalSize = %d", len(buf), h.MarshalSize())
+	}
+	var got Header
+	n, err := got.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.Marker != h.Marker || got.PayloadType != h.PayloadType ||
+		got.SequenceNumber != h.SequenceNumber || got.Timestamp != h.Timestamp ||
+		got.SSRC != h.SSRC || len(got.CSRC) != 3 || got.CSRC[2] != 3 {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, h)
+	}
+}
+
+func TestHeaderExtension(t *testing.T) {
+	h := Header{
+		PayloadType:      96,
+		Extension:        true,
+		ExtensionProfile: 0xBEDE,
+		ExtensionData:    []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Header
+	if _, err := got.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.ExtensionProfile != 0xBEDE || !bytes.Equal(got.ExtensionData, h.ExtensionData) {
+		t.Errorf("extension mismatch: %+v", got)
+	}
+}
+
+func TestHeaderExtensionBadLength(t *testing.T) {
+	h := Header{Extension: true, ExtensionData: []byte{1, 2, 3}}
+	if _, err := h.Marshal(); err == nil {
+		t.Fatal("marshal with 3-byte extension succeeded, want error")
+	}
+}
+
+func TestHeaderTooManyCSRCs(t *testing.T) {
+	h := Header{CSRC: make([]uint32, 16)}
+	if _, err := h.Marshal(); err == nil {
+		t.Fatal("marshal with 16 CSRCs succeeded, want error")
+	}
+}
+
+func TestUnmarshalShortAndBadVersion(t *testing.T) {
+	var h Header
+	if _, err := h.Unmarshal([]byte{0x80, 0, 0}); err != ErrShortPacket {
+		t.Errorf("short: err = %v, want ErrShortPacket", err)
+	}
+	buf := make([]byte, 12)
+	buf[0] = 1 << 6 // version 1
+	if _, err := h.Unmarshal(buf); err != ErrBadVersion {
+		t.Errorf("bad version: err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		Header:  Header{PayloadType: 111, SequenceNumber: 7, SSRC: 42},
+		Payload: []byte("opus frame bytes"),
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Packet
+	if err := got.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("payload = %q, want %q", got.Payload, p.Payload)
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b uint16
+		less bool
+		diff int
+	}{
+		{1, 2, true, 1},
+		{2, 1, false, -1},
+		{65535, 0, true, 1},
+		{0, 65535, false, -1},
+		{65530, 5, true, 11},
+		{100, 100, false, 0},
+	}
+	for _, c := range cases {
+		if got := SeqLess(c.a, c.b); got != c.less {
+			t.Errorf("SeqLess(%d,%d) = %v, want %v", c.a, c.b, got, c.less)
+		}
+		if got := SeqDiff(c.a, c.b); got != c.diff {
+			t.Errorf("SeqDiff(%d,%d) = %d, want %d", c.a, c.b, got, c.diff)
+		}
+	}
+}
+
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	f := func(marker bool, pt uint8, seq uint16, ts, ssrc uint32) bool {
+		h := Header{Marker: marker, PayloadType: pt & 0x7f, SequenceNumber: seq, Timestamp: ts, SSRC: ssrc}
+		buf, err := h.Marshal()
+		if err != nil {
+			return false
+		}
+		var got Header
+		n, err := got.Unmarshal(buf)
+		return err == nil && n == len(buf) &&
+			got.Marker == h.Marker && got.PayloadType == h.PayloadType &&
+			got.SequenceNumber == seq && got.Timestamp == ts && got.SSRC == ssrc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSenderReportRoundTrip(t *testing.T) {
+	sr := &SenderReport{
+		SSRC: 1, NTPTime: 0x0102030405060708, RTPTime: 90000,
+		PacketCount: 1000, OctetCount: 1 << 20,
+		Reports: []ReportBlock{{
+			SSRC: 2, FractionLost: 25, CumulativeLost: 0xABCDEF,
+			HighestSeq: 5000, Jitter: 33, LastSR: 9, DelaySinceLasSR: 10,
+		}},
+	}
+	buf, err := sr.MarshalRTCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := UnmarshalRTCP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d", n, len(buf))
+	}
+	g := got.(*SenderReport)
+	if g.NTPTime != sr.NTPTime || g.OctetCount != sr.OctetCount ||
+		len(g.Reports) != 1 || g.Reports[0].CumulativeLost != 0xABCDEF {
+		t.Errorf("round trip mismatch: %+v", g)
+	}
+}
+
+func TestReceiverReportRoundTrip(t *testing.T) {
+	rr := &ReceiverReport{SSRC: 7, Reports: []ReportBlock{
+		{SSRC: 1, FractionLost: 128, HighestSeq: 99, Jitter: 5},
+		{SSRC: 2, FractionLost: 0, HighestSeq: 100},
+	}}
+	buf, err := rr.MarshalRTCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := UnmarshalRTCP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*ReceiverReport)
+	if g.SSRC != 7 || len(g.Reports) != 2 || g.Reports[0].FractionLost != 128 {
+		t.Errorf("round trip mismatch: %+v", g)
+	}
+}
+
+func TestPLIAndFIRRoundTrip(t *testing.T) {
+	pli := &PictureLossIndication{SenderSSRC: 1, MediaSSRC: 2}
+	buf, _ := pli.MarshalRTCP()
+	got, _, err := UnmarshalRTCP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := got.(*PictureLossIndication); g.MediaSSRC != 2 {
+		t.Errorf("PLI mismatch: %+v", g)
+	}
+	fir := &FullIntraRequest{SenderSSRC: 3, MediaSSRC: 4, SSRC: 5, SeqNo: 9}
+	buf, _ = fir.MarshalRTCP()
+	got, _, err = UnmarshalRTCP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := got.(*FullIntraRequest); g.SSRC != 5 || g.SeqNo != 9 {
+		t.Errorf("FIR mismatch: %+v", g)
+	}
+}
+
+func TestREMBRoundTrip(t *testing.T) {
+	for _, rate := range []float64{64_000, 300_000, 1_500_000, 10_000_000, 123_456_789} {
+		r := &ReceiverEstimatedMaxBitrate{SenderSSRC: 11, Bitrate: rate, SSRCs: []uint32{100, 200}}
+		buf, err := r.MarshalRTCP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := UnmarshalRTCP(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := got.(*ReceiverEstimatedMaxBitrate)
+		if rel := math.Abs(g.Bitrate-rate) / rate; rel > 1e-4 {
+			t.Errorf("REMB %g decoded as %g (rel err %g)", rate, g.Bitrate, rel)
+		}
+		if len(g.SSRCs) != 2 || g.SSRCs[1] != 200 {
+			t.Errorf("REMB SSRCs = %v", g.SSRCs)
+		}
+	}
+}
+
+func TestNackRoundTripAndExpansion(t *testing.T) {
+	n := &Nack{SenderSSRC: 1, MediaSSRC: 2, Pairs: []NackPair{{PacketID: 100, Bitmask: 0b101}}}
+	buf, err := n.MarshalRTCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := UnmarshalRTCP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*Nack)
+	seqs := g.Pairs[0].LostSeqs()
+	want := []uint16{100, 101, 103}
+	if len(seqs) != len(want) {
+		t.Fatalf("LostSeqs = %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("LostSeqs = %v, want %v", seqs, want)
+		}
+	}
+}
+
+func TestCompoundRoundTrip(t *testing.T) {
+	buf, err := MarshalCompound(
+		&SenderReport{SSRC: 1},
+		&ReceiverReport{SSRC: 2, Reports: []ReportBlock{{SSRC: 1}}},
+		&ReceiverEstimatedMaxBitrate{SenderSSRC: 2, Bitrate: 1e6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := UnmarshalCompound(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 3 {
+		t.Fatalf("parsed %d messages, want 3", len(pkts))
+	}
+	if _, ok := pkts[0].(*SenderReport); !ok {
+		t.Errorf("pkts[0] is %T, want *SenderReport", pkts[0])
+	}
+	if _, ok := pkts[2].(*ReceiverEstimatedMaxBitrate); !ok {
+		t.Errorf("pkts[2] is %T, want *REMB", pkts[2])
+	}
+}
+
+func TestUnmarshalRTCPTruncated(t *testing.T) {
+	sr := &SenderReport{SSRC: 1, Reports: []ReportBlock{{SSRC: 2}}}
+	buf, _ := sr.MarshalRTCP()
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := UnmarshalRTCP(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes parsed without error", cut)
+		}
+	}
+}
+
+func TestQuickReportBlockRoundTrip(t *testing.T) {
+	f := func(ssrc uint32, fl uint8, cum uint32, hs, jit uint32) bool {
+		rb := ReportBlock{SSRC: ssrc, FractionLost: fl, CumulativeLost: cum & 0xFFFFFF, HighestSeq: hs, Jitter: jit}
+		rr := &ReceiverReport{SSRC: 9, Reports: []ReportBlock{rb}}
+		buf, err := rr.MarshalRTCP()
+		if err != nil {
+			return false
+		}
+		got, _, err := UnmarshalRTCP(buf)
+		if err != nil {
+			return false
+		}
+		g := got.(*ReceiverReport).Reports[0]
+		return g == rb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRTPMarshal(b *testing.B) {
+	p := Packet{Header: Header{PayloadType: 96, SequenceNumber: 1, SSRC: 42}, Payload: make([]byte, 1200)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTPUnmarshal(b *testing.B) {
+	p := Packet{Header: Header{PayloadType: 96, SequenceNumber: 1, SSRC: 42}, Payload: make([]byte, 1200)}
+	buf, _ := p.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var q Packet
+		if err := q.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

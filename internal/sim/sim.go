@@ -1,0 +1,225 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of vcalab runs on virtual time: a five-minute video call completes in
+// milliseconds of wall-clock time and, given the same seed, produces exactly
+// the same packet trace on every run. The engine is a priority queue of
+// timestamped callbacks plus a seeded random source; nothing in the library
+// reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// one with New. Engine is not safe for concurrent use: the entire simulation
+// runs single-threaded, which is what makes it deterministic.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	// processed counts executed events, exposed for tests and benchmarks.
+	processed uint64
+}
+
+// New returns an Engine whose random source is seeded with seed.
+// Two engines created with the same seed run identically.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time, measured from the start of the
+// simulation.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. All randomness in a
+// simulation must come from here so runs stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Timer is a handle to a scheduled event. Stop cancels it.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It is safe to call on a timer that already fired
+// or was already stopped; Stop reports whether the call prevented the event
+// from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero. Events scheduled for the same instant run in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute virtual time t. Times in the past are clamped
+// to now.
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Ticker repeatedly invokes a callback at a fixed interval until stopped.
+type Ticker struct {
+	eng      *Engine
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// Every runs fn every interval, first firing one interval from now.
+// It panics if interval is not positive, since a zero-interval ticker would
+// prevent virtual time from ever advancing.
+func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
+	}
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.eng.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop prevents any future ticks. The ticker cannot be restarted.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Reset changes the ticker interval; the next tick fires one new interval
+// from now.
+func (t *Ticker) Reset(interval time.Duration) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
+	}
+	if t.stopped {
+		return
+	}
+	t.timer.Stop()
+	t.interval = interval
+	t.arm()
+}
+
+// Step executes the single earliest pending event and reports whether one
+// existed.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t time.Duration) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+func (e *Engine) peek() *event {
+	for e.events.Len() > 0 {
+		ev := e.events[0]
+		if ev.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// Pending reports the number of live (non-cancelled) events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

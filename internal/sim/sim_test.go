@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Second, func() {
+		e.Schedule(-time.Hour, func() {
+			if e.Now() != time.Second {
+				t.Errorf("negative delay fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(time.Millisecond, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop() = true after timer fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Every(time.Second, func() { count++ })
+	e.RunUntil(5500 * time.Millisecond)
+	if count != 5 {
+		t.Errorf("ticks = %d, want 5", count)
+	}
+	if e.Now() != 5500*time.Millisecond {
+		t.Errorf("Now() = %v, want 5.5s", e.Now())
+	}
+	// Ticker must survive RunUntil and keep going.
+	e.RunUntil(10 * time.Second)
+	if count != 10 {
+		t.Errorf("ticks after second RunUntil = %d, want 10", count)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(time.Minute)
+	if count != 3 {
+		t.Errorf("ticks = %d, want 3 (stop from within callback)", count)
+	}
+}
+
+func TestTickerReset(t *testing.T) {
+	e := New(1)
+	var times []time.Duration
+	tk := e.Every(time.Second, func() { times = append(times, e.Now()) })
+	e.RunUntil(2500 * time.Millisecond) // ticks at 1s, 2s
+	tk.Reset(100 * time.Millisecond)
+	e.RunUntil(3 * time.Second) // ticks at 2.6, 2.7, 2.8, 2.9, 3.0
+	if len(times) != 2+5 {
+		t.Fatalf("got %d ticks (%v), want 7", len(times), times)
+	}
+	if times[2] != 2600*time.Millisecond {
+		t.Errorf("first tick after Reset at %v, want 2.6s", times[2])
+	}
+}
+
+func TestTickerZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0, ...) did not panic")
+		}
+	}()
+	New(1).Every(0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := New(seed)
+		var draws []int64
+		e.Every(time.Millisecond, func() {
+			draws = append(draws, e.Rand().Int63n(1000))
+		})
+		e.RunUntil(50 * time.Millisecond)
+		return draws
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draws")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Errorf("Now() = %v, want 99ms", e.Now())
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New(1)
+	t1 := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	t1.Stop()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() after Stop = %d, want 1", e.Pending())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// of their absolute times.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		e := New(7)
+		var fired []time.Duration
+		for _, d := range delaysMS {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delaysMS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: virtual time never moves backwards across arbitrary mixes of
+// Schedule / nested Schedule calls.
+func TestQuickMonotonicClock(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		e := New(seed)
+		last := time.Duration(-1)
+		ok := true
+		var spawn func(rem int)
+		spawn = func(rem int) {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if rem > 0 {
+				e.Schedule(time.Duration(e.Rand().Intn(1000))*time.Microsecond, func() { spawn(rem - 1) })
+			}
+		}
+		for i := 0; i < int(n%8)+1; i++ {
+			e.Schedule(time.Duration(e.Rand().Intn(1000))*time.Microsecond, func() { spawn(int(n) % 32) })
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i)*time.Nanosecond, func() {})
+	}
+	e.Run()
+}

@@ -1,0 +1,225 @@
+// Package stats provides the measurement toolkit used throughout vcalab:
+// rate meters that turn packet deliveries into bitrate time series, order
+// statistics with 90% confidence intervals (the error bands on every figure
+// in the paper), rolling medians, link-share computation, and the paper's
+// time-to-recovery (TTR) metric from §4.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Series is a time-indexed sequence of samples. Times must be appended in
+// non-decreasing order.
+type Series struct {
+	Times  []time.Duration
+	Values []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.Values) }
+
+// Slice returns the sub-series with from <= t < to.
+func (s Series) Slice(from, to time.Duration) Series {
+	lo := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] >= from })
+	hi := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] >= to })
+	return Series{Times: s.Times[lo:hi], Values: s.Values[lo:hi]}
+}
+
+// RollingMedian returns a new series where each point is the median of the
+// samples within the trailing window ending at that point. This is the
+// paper's "five-second rolling median bitrate".
+func (s Series) RollingMedian(window time.Duration) Series {
+	out := Series{Times: make([]time.Duration, 0, s.Len()), Values: make([]float64, 0, s.Len())}
+	start := 0
+	for i := range s.Times {
+		for s.Times[start] < s.Times[i]-window {
+			start++
+		}
+		out.Add(s.Times[i], Median(s.Values[start:i+1]))
+	}
+	return out
+}
+
+// Meter accumulates bytes into fixed-width time bins and reports a bitrate
+// series. It is the pcap-style throughput instrument: tap packet deliveries
+// into it and read Mbps out.
+type Meter struct {
+	Bin  time.Duration
+	bins []float64 // bytes per bin
+}
+
+// NewMeter creates a meter with the given bin width (commonly 1s).
+func NewMeter(bin time.Duration) *Meter {
+	if bin <= 0 {
+		panic("stats: non-positive meter bin")
+	}
+	return &Meter{Bin: bin}
+}
+
+// AddBytes credits n bytes at virtual time t.
+func (m *Meter) AddBytes(t time.Duration, n int) {
+	idx := int(t / m.Bin)
+	for len(m.bins) <= idx {
+		m.bins = append(m.bins, 0)
+	}
+	m.bins[idx] += float64(n)
+}
+
+// TotalBytes returns the total accumulated bytes.
+func (m *Meter) TotalBytes() float64 {
+	var sum float64
+	for _, b := range m.bins {
+		sum += b
+	}
+	return sum
+}
+
+// RateMbps returns a Series of megabits/second, one point per bin, stamped
+// at the bin end.
+func (m *Meter) RateMbps() Series {
+	s := Series{Times: make([]time.Duration, 0, len(m.bins)), Values: make([]float64, 0, len(m.bins))}
+	for i, bytes := range m.bins {
+		s.Add(time.Duration(i+1)*m.Bin, bytes*8/m.Bin.Seconds()/1e6)
+	}
+	return s
+}
+
+// MeanRateMbps returns the average rate over [from, to).
+func (m *Meter) MeanRateMbps(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	lo, hi := int(from/m.Bin), int(to/m.Bin)
+	var bytes float64
+	for i := lo; i < hi && i < len(m.bins); i++ {
+		bytes += m.bins[i]
+	}
+	return bytes * 8 / (time.Duration(hi-lo) * m.Bin).Seconds() / 1e6
+}
+
+// Median returns the median of vs (0 for empty input).
+func Median(vs []float64) float64 { return Percentile(vs, 50) }
+
+// Percentile returns the p-th percentile (0–100) using linear interpolation
+// between closest ranks. Returns 0 for empty input.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 values).
+func StdDev(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	m := Mean(vs)
+	var ss float64
+	for _, v := range vs {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(len(vs)-1))
+}
+
+// Summary aggregates repeated measurements of one quantity, as the paper
+// does across its five repetitions per condition.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	// CI90 is the half-width of a 90% confidence interval on the mean
+	// (normal approximation, z = 1.645) — the shaded bands of Figs 1–5, 15.
+	CI90 float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes a Summary of vs.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(vs),
+		Mean:   Mean(vs),
+		Median: Median(vs),
+		Min:    vs[0],
+		Max:    vs[0],
+	}
+	for _, v := range vs {
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	if len(vs) > 1 {
+		s.CI90 = 1.645 * StdDev(vs) / math.Sqrt(float64(len(vs)))
+	}
+	return s
+}
+
+// TTR computes the paper's time-to-recovery metric (§4): the time between
+// when the interruption ends and when the rolling median bitrate (window
+// -wide, typically 5s) returns to frac times the nominal bitrate, where
+// nominal is the median bitrate before the interruption started.
+//
+// It returns the recovery time and true, or 0 and false if the series never
+// recovers within the data.
+func TTR(s Series, intStart, intEnd time.Duration, window time.Duration, frac float64) (time.Duration, bool) {
+	before := s.Slice(0, intStart)
+	nominal := Median(before.Values)
+	if nominal == 0 {
+		return 0, false
+	}
+	after := s.Slice(intEnd, time.Duration(math.MaxInt64))
+	rolled := after.RollingMedian(window)
+	for i, v := range rolled.Values {
+		if v >= nominal*frac {
+			return rolled.Times[i] - intEnd, true
+		}
+	}
+	return 0, false
+}
+
+// Share returns a/(a+b), the fraction of the link used by the first flow;
+// 0 if both are zero.
+func Share(a, b float64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return a / (a + b)
+}

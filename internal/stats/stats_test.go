@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMedianAndPercentile(t *testing.T) {
+	cases := []struct {
+		vs   []float64
+		p    float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 50, 2},
+		{[]float64{1, 2, 3, 4}, 50, 2.5},
+		{[]float64{5}, 50, 5},
+		{nil, 50, 0},
+		{[]float64{1, 2, 3, 4, 5}, 0, 1},
+		{[]float64{1, 2, 3, 4, 5}, 100, 5},
+		{[]float64{1, 2, 3, 4, 5}, 25, 2},
+		{[]float64{3, 1, 2}, 50, 2}, // must not require sorted input
+	}
+	for _, c := range cases {
+		if got := Percentile(c.vs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", c.vs, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vs := []float64{3, 1, 2}
+	Percentile(vs, 50)
+	if vs[0] != 3 || vs[1] != 1 || vs[2] != 2 {
+		t.Errorf("input mutated: %v", vs)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	vs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(vs); math.Abs(got-2.138) > 0.001 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of single value should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.CI90 <= 0 {
+		t.Errorf("CI90 = %v, want > 0", s.CI90)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty Summarize = %+v", z)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(time.Second)
+	// 125000 bytes in second 0 => 1 Mbps.
+	m.AddBytes(200*time.Millisecond, 100000)
+	m.AddBytes(900*time.Millisecond, 25000)
+	m.AddBytes(1500*time.Millisecond, 250000) // 2 Mbps in second 1
+	s := m.RateMbps()
+	if s.Len() != 2 {
+		t.Fatalf("series length %d, want 2", s.Len())
+	}
+	if math.Abs(s.Values[0]-1.0) > 1e-9 || math.Abs(s.Values[1]-2.0) > 1e-9 {
+		t.Errorf("rates = %v, want [1 2]", s.Values)
+	}
+	if got := m.MeanRateMbps(0, 2*time.Second); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("MeanRateMbps = %v, want 1.5", got)
+	}
+	if m.TotalBytes() != 375000 {
+		t.Errorf("TotalBytes = %v", m.TotalBytes())
+	}
+}
+
+func TestSeriesSlice(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	sub := s.Slice(3*time.Second, 6*time.Second)
+	if sub.Len() != 3 || sub.Values[0] != 3 || sub.Values[2] != 5 {
+		t.Errorf("Slice = %+v", sub)
+	}
+}
+
+func TestRollingMedian(t *testing.T) {
+	var s Series
+	vals := []float64{1, 1, 1, 10, 10, 10}
+	for i, v := range vals {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	r := s.RollingMedian(2 * time.Second) // window covers 3 samples
+	// At t=3 the window holds {1,1,10} -> median 1; at t=4 {1,10,10} -> 10.
+	if r.Values[3] != 1 {
+		t.Errorf("rolled[3] = %v, want 1", r.Values[3])
+	}
+	if r.Values[4] != 10 {
+		t.Errorf("rolled[4] = %v, want 10", r.Values[4])
+	}
+}
+
+func TestTTR(t *testing.T) {
+	// Bitrate 1.0 for 60s, 0.2 during 60–90s disruption, staircase back.
+	var s Series
+	for i := 0; i <= 200; i++ {
+		tm := time.Duration(i) * time.Second
+		var v float64
+		switch {
+		case i < 60:
+			v = 1.0
+		case i < 90:
+			v = 0.2
+		case i < 110: // 20s of slow ramp
+			v = 0.2 + float64(i-90)*0.04
+		default:
+			v = 1.0
+		}
+		s.Add(tm, v)
+	}
+	ttr, ok := TTR(s, 60*time.Second, 90*time.Second, 5*time.Second, 0.95)
+	if !ok {
+		t.Fatal("TTR did not find recovery")
+	}
+	// Instantaneous rate crosses 0.95 at ~109s; the 5s rolling median
+	// crosses a little later. Accept 18–30 s.
+	if ttr < 18*time.Second || ttr > 30*time.Second {
+		t.Errorf("TTR = %v, want ~19-30s", ttr)
+	}
+}
+
+func TestTTRNeverRecovers(t *testing.T) {
+	var s Series
+	for i := 0; i <= 100; i++ {
+		v := 1.0
+		if i >= 50 {
+			v = 0.1
+		}
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	if _, ok := TTR(s, 50*time.Second, 60*time.Second, 5*time.Second, 0.95); ok {
+		t.Error("TTR reported recovery for a series that never recovers")
+	}
+}
+
+func TestShare(t *testing.T) {
+	if got := Share(3, 1); got != 0.75 {
+		t.Errorf("Share(3,1) = %v, want 0.75", got)
+	}
+	if got := Share(0, 0); got != 0 {
+		t.Errorf("Share(0,0) = %v, want 0", got)
+	}
+}
+
+// Property: Percentile(vs, 50) equals the textbook median.
+func TestQuickMedian(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		for i, r := range raw {
+			vs[i] = float64(r)
+		}
+		sorted := append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+		var want float64
+		n := len(sorted)
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		return math.Abs(Median(vs)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		for i, r := range raw {
+			vs[i] = float64(r)
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(vs, a), Percentile(vs, b)
+		return pa <= pb && pa >= Percentile(vs, 0) && pb <= Percentile(vs, 100)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the meter conserves bytes and its mean rate matches total bytes.
+func TestQuickMeterConservation(t *testing.T) {
+	f := func(events []uint16) bool {
+		m := NewMeter(time.Second)
+		var total float64
+		maxT := time.Duration(0)
+		for _, e := range events {
+			at := time.Duration(e%60) * 100 * time.Millisecond
+			if at > maxT {
+				maxT = at
+			}
+			m.AddBytes(at, int(e))
+			total += float64(e)
+		}
+		return math.Abs(m.TotalBytes()-total) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

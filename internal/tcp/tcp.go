@@ -1,0 +1,458 @@
+// Package tcp implements a SACK-based loss recovery loop with CUBIC window
+// growth over the netem substrate.
+//
+// It stands in for the paper's iPerf3 competitor (§5.2: TCP CUBIC server
+// 2 ms away) and is the building block for the Netflix traffic model
+// (§5.3). The model is deliberately at the "congestion dynamics" level:
+// segment-accurate sequencing, ack clocking, dup-ack fast retransmit with
+// SACK-driven hole filling and pipe accounting (RFC 6675 in spirit), RTO
+// with exponential backoff, and CUBIC's W(t) = C(t-K)^3 + Wmax growth — but
+// no handshake or window scaling, which play no role in the paper's results.
+package tcp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+)
+
+// Config tunes a Flow. Zero fields take the documented defaults.
+type Config struct {
+	MSS          int           // payload bytes per segment (default 1460)
+	WireOverhead int           // header bytes per packet on the wire (default 40)
+	AckSize      int           // ack packet wire size (default 40)
+	InitCwnd     float64       // initial window, packets (default 10)
+	Beta         float64       // CUBIC multiplicative decrease (default 0.7)
+	C            float64       // CUBIC scaling constant (default 0.4)
+	RTOMin       time.Duration // minimum RTO (default 200ms)
+}
+
+func (c *Config) defaults() {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.WireOverhead == 0 {
+		c.WireOverhead = 40
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 40
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 10
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.7
+	}
+	if c.C == 0 {
+		c.C = 0.4
+	}
+	if c.RTOMin == 0 {
+		c.RTOMin = 200 * time.Millisecond
+	}
+}
+
+type segment struct {
+	Seq int64
+}
+
+// ack carries the cumulative ack plus SACK information. Sacked lists
+// out-of-order segments buffered at the receiver (capped; a modeling
+// shortcut for SACK blocks — the wire size stays a constant AckSize).
+type ack struct {
+	CumAck int64
+	Echo   time.Duration // SentAt of the segment that triggered this ack
+	Sacked []int64
+}
+
+const maxSackList = 256
+
+// segState tracks a sender-side segment in the SACK scoreboard.
+type segState uint8
+
+const (
+	segOutstanding segState = iota // sent, fate unknown
+	segSacked                      // receiver holds it (out of order)
+	segLost                        // declared lost, awaiting retransmit
+	segRexted                      // retransmitted, fate unknown
+)
+
+// Flow is a unidirectional bulk TCP transfer from a sender host to a
+// receiver host/port. Create with NewFlow, then Start.
+type Flow struct {
+	Name string
+
+	eng  *sim.Engine
+	cfg  Config
+	src  *netem.Host
+	dst  *netem.Host
+	port int
+
+	// Sender state.
+	running    bool
+	total      int64 // segments to send; 0 = unlimited
+	nextSeq    int64
+	cumAck     int64
+	dupAcks    int
+	cwnd       float64
+	ssthresh   float64
+	inRecovery bool
+	recoverSeq int64
+	// scoreboard tracks per-segment state for the unacked window
+	// (RFC 6675 in spirit); pipeCnt counts segments believed in flight.
+	scoreboard map[int64]segState
+	highSacked int64
+	pipeCnt    int
+
+	// CUBIC state.
+	wMax       float64
+	epochStart time.Duration
+
+	// RTT estimation.
+	srtt, rttvar time.Duration
+	rtoBackoff   int
+	rtoTimer     *sim.Timer
+	rtoArmed     bool
+
+	// Receiver state.
+	rcvNext int64
+	rcvBuf  map[int64]bool
+
+	// Instrumentation.
+	DeliveredSegs  int64 // in-order segments delivered to the app
+	Retransmits    int64
+	RTOCount       int64
+	FastRecoveries int64
+
+	onDeliver      func(t time.Duration, payloadBytes int)
+	onComplete     func()
+	completeSignal bool
+}
+
+// NewFlow wires a flow from src to dst:port. The receiver handler is
+// registered on dst immediately; data does not move until Start.
+func NewFlow(eng *sim.Engine, name string, src, dst *netem.Host, port int, cfg Config) *Flow {
+	cfg.defaults()
+	f := &Flow{
+		Name: name, eng: eng, cfg: cfg, src: src, dst: dst, port: port,
+		cwnd: cfg.InitCwnd, ssthresh: math.Inf(1),
+		scoreboard: map[int64]segState{}, rcvBuf: map[int64]bool{},
+	}
+	dst.HandleFunc(port, f.onData)
+	src.HandleFunc(port, f.onAck)
+	return f
+}
+
+// OnDeliver registers a callback invoked for every in-order payload chunk
+// delivered at the receiver (the throughput instrument).
+func (f *Flow) OnDeliver(fn func(t time.Duration, payloadBytes int)) { f.onDeliver = fn }
+
+// OnComplete registers a callback fired when a bounded transfer finishes.
+func (f *Flow) OnComplete(fn func()) { f.onComplete = fn }
+
+// Start begins transmitting. totalBytes = 0 means an unbounded (iPerf-like)
+// flow; otherwise the flow completes after delivering that many bytes.
+func (f *Flow) Start(totalBytes int64) {
+	f.running = true
+	if totalBytes > 0 {
+		f.total = (totalBytes + int64(f.cfg.MSS) - 1) / int64(f.cfg.MSS)
+	}
+	f.epochStart = f.eng.Now()
+	f.trySend()
+}
+
+// Stop halts the sender (e.g. the competing application ends).
+func (f *Flow) Stop() {
+	f.running = false
+	if f.rtoTimer != nil {
+		f.rtoTimer.Stop()
+	}
+}
+
+// Cwnd exposes the congestion window in packets (for tests).
+func (f *Flow) Cwnd() float64 { return f.cwnd }
+
+// SRTT exposes the smoothed RTT estimate (for tests).
+func (f *Flow) SRTT() time.Duration { return f.srtt }
+
+func (f *Flow) trySend() {
+	if !f.running {
+		return
+	}
+	for float64(f.pipeCnt) < f.cwnd {
+		if f.nextRexmit() {
+			continue
+		}
+		if f.total > 0 && f.nextSeq >= f.total {
+			return
+		}
+		f.scoreboard[f.nextSeq] = segOutstanding
+		f.pipeCnt++
+		f.sendSeg(f.nextSeq)
+		f.nextSeq++
+	}
+}
+
+// nextRexmit retransmits the lowest segment marked lost. It reports whether
+// it sent anything.
+func (f *Flow) nextRexmit() bool {
+	var best int64 = -1
+	for seq, st := range f.scoreboard {
+		if st == segLost && (best == -1 || seq < best) {
+			best = seq
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	f.scoreboard[best] = segRexted
+	f.pipeCnt++
+	f.Retransmits++
+	f.sendSeg(best)
+	return true
+}
+
+func (f *Flow) sendSeg(seq int64) {
+	f.src.Send(&netem.Packet{
+		Size:    f.cfg.MSS + f.cfg.WireOverhead,
+		From:    netem.Addr{Host: f.src.Name, Port: f.port},
+		To:      netem.Addr{Host: f.dst.Name, Port: f.port},
+		Flow:    f.Name,
+		Payload: segment{Seq: seq},
+	})
+	f.ensureRTO()
+}
+
+// ensureRTO arms the retransmission timer if it is not already ticking.
+// Unlike armRTO it never postpones an armed timer: a retransmission that is
+// itself lost must still be caught by the original deadline.
+func (f *Flow) ensureRTO() {
+	if f.rtoArmed {
+		return
+	}
+	f.rtoArmed = true
+	f.rtoTimer = f.eng.Schedule(f.rto(), f.onRTO)
+}
+
+// onData runs at the receiver.
+func (f *Flow) onData(pkt *netem.Packet) {
+	seg := pkt.Payload.(segment)
+	switch {
+	case seg.Seq == f.rcvNext:
+		f.rcvNext++
+		delivered := int64(1)
+		for f.rcvBuf[f.rcvNext] {
+			delete(f.rcvBuf, f.rcvNext)
+			f.rcvNext++
+			delivered++
+		}
+		f.deliver(delivered)
+	case seg.Seq > f.rcvNext:
+		f.rcvBuf[seg.Seq] = true
+	default:
+		// Duplicate of already-delivered data; ack anyway.
+	}
+	a := ack{CumAck: f.rcvNext, Echo: pkt.SentAt}
+	if len(f.rcvBuf) > 0 {
+		for s := range f.rcvBuf {
+			a.Sacked = append(a.Sacked, s)
+		}
+		// Sorted for determinism; lowest seqs are the most useful to the
+		// sender, so the cap keeps those.
+		sort.Slice(a.Sacked, func(i, j int) bool { return a.Sacked[i] < a.Sacked[j] })
+		if len(a.Sacked) > maxSackList {
+			a.Sacked = a.Sacked[:maxSackList]
+		}
+	}
+	f.dst.Send(&netem.Packet{
+		Size:    f.cfg.AckSize,
+		From:    netem.Addr{Host: f.dst.Name, Port: f.port},
+		To:      netem.Addr{Host: f.src.Name, Port: f.port},
+		Flow:    f.Name + "/ack",
+		Payload: a,
+	})
+}
+
+func (f *Flow) deliver(segs int64) {
+	f.DeliveredSegs += segs
+	if f.onDeliver != nil {
+		f.onDeliver(f.eng.Now(), int(segs)*f.cfg.MSS)
+	}
+	if f.total > 0 && f.DeliveredSegs >= f.total && !f.completeSignal {
+		f.completeSignal = true
+		if f.onComplete != nil {
+			f.onComplete()
+		}
+	}
+}
+
+// onAck runs at the sender.
+func (f *Flow) onAck(pkt *netem.Packet) {
+	a := pkt.Payload.(ack)
+	f.updateRTT(f.eng.Now() - a.Echo)
+
+	for _, s := range a.Sacked {
+		if s < f.cumAck {
+			continue
+		}
+		if st, ok := f.scoreboard[s]; !ok || st == segOutstanding || st == segRexted {
+			if ok && st != segSacked {
+				f.pipeCnt--
+			}
+			f.scoreboard[s] = segSacked
+			if s > f.highSacked {
+				f.highSacked = s
+			}
+		}
+	}
+
+	if a.CumAck > f.cumAck {
+		newly := a.CumAck - f.cumAck
+		for s := f.cumAck; s < a.CumAck; s++ {
+			if st, ok := f.scoreboard[s]; ok {
+				if st == segOutstanding || st == segRexted {
+					f.pipeCnt--
+				}
+				delete(f.scoreboard, s)
+			}
+		}
+		f.cumAck = a.CumAck
+		f.dupAcks = 0
+		f.rtoBackoff = 0
+		if f.inRecovery && f.cumAck >= f.recoverSeq {
+			f.inRecovery = false
+		}
+		if !f.inRecovery {
+			f.growCwnd(float64(newly))
+		} else {
+			f.markLostBelowHighSacked()
+		}
+		f.armRTO()
+		f.trySend()
+		return
+	}
+
+	// Duplicate ack.
+	f.dupAcks++
+	if f.dupAcks >= 3 && !f.inRecovery {
+		f.fastRetransmit()
+	}
+	if f.inRecovery {
+		f.markLostBelowHighSacked()
+	}
+	f.trySend() // pipe shrank via new SACK info
+}
+
+// markLostBelowHighSacked declares outstanding segments below the highest
+// SACKed sequence lost: the receiver has buffered data beyond them, so they
+// were dropped (FIFO links never reorder in this emulator).
+func (f *Flow) markLostBelowHighSacked() {
+	for seq := f.cumAck; seq < f.highSacked; seq++ {
+		if f.scoreboard[seq] == segOutstanding {
+			f.scoreboard[seq] = segLost
+			f.pipeCnt--
+		}
+	}
+}
+
+func (f *Flow) fastRetransmit() {
+	f.FastRecoveries++
+	f.inRecovery = true
+	f.recoverSeq = f.nextSeq
+	f.markLostBelowHighSacked()
+	f.enterLossEpoch()
+}
+
+// enterLossEpoch applies CUBIC's multiplicative decrease.
+func (f *Flow) enterLossEpoch() {
+	f.wMax = f.cwnd
+	f.cwnd = math.Max(2, f.cwnd*f.cfg.Beta)
+	f.ssthresh = f.cwnd
+	f.epochStart = f.eng.Now()
+}
+
+// growCwnd applies slow start below ssthresh and CUBIC above it.
+func (f *Flow) growCwnd(ackedSegs float64) {
+	if f.cwnd < f.ssthresh {
+		f.cwnd += ackedSegs
+		return
+	}
+	t := (f.eng.Now() - f.epochStart).Seconds()
+	k := math.Cbrt(f.wMax * (1 - f.cfg.Beta) / f.cfg.C)
+	rtt := f.srtt.Seconds()
+	if rtt <= 0 {
+		rtt = 0.02
+	}
+	wTarget := f.cfg.C*math.Pow(t+rtt-k, 3) + f.wMax
+	if wTarget > f.cwnd {
+		f.cwnd += ackedSegs * (wTarget - f.cwnd) / f.cwnd
+	} else {
+		f.cwnd += ackedSegs * 0.01 / f.cwnd // TCP-friendly floor growth
+	}
+}
+
+func (f *Flow) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if f.srtt == 0 {
+		f.srtt = sample
+		f.rttvar = sample / 2
+		return
+	}
+	diff := f.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	f.rttvar = (3*f.rttvar + diff) / 4
+	f.srtt = (7*f.srtt + sample) / 8
+}
+
+func (f *Flow) rto() time.Duration {
+	rto := f.srtt + 4*f.rttvar
+	if rto < f.cfg.RTOMin {
+		rto = f.cfg.RTOMin
+	}
+	for i := 0; i < f.rtoBackoff && rto < time.Minute; i++ {
+		rto *= 2
+	}
+	return rto
+}
+
+// armRTO restarts the timer after forward progress (new cumulative ack).
+func (f *Flow) armRTO() {
+	if f.rtoTimer != nil {
+		f.rtoTimer.Stop()
+	}
+	f.rtoArmed = false
+	if f.nextSeq == f.cumAck {
+		return // nothing outstanding
+	}
+	f.ensureRTO()
+}
+
+func (f *Flow) onRTO() {
+	f.rtoArmed = false
+	if !f.running || f.nextSeq == f.cumAck {
+		return
+	}
+	f.RTOCount++
+	f.rtoBackoff++
+	f.ssthresh = math.Max(2, f.cwnd/2)
+	f.cwnd = 1
+	f.wMax = f.ssthresh
+	f.inRecovery = true
+	f.recoverSeq = f.nextSeq
+	f.dupAcks = 0
+	f.epochStart = f.eng.Now()
+	// Everything unacked and un-SACKed is presumed lost.
+	for seq := f.cumAck; seq < f.nextSeq; seq++ {
+		if st := f.scoreboard[seq]; st == segOutstanding || st == segRexted {
+			f.scoreboard[seq] = segLost
+			f.pipeCnt--
+		}
+	}
+	f.trySend()
+}

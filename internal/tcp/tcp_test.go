@@ -1,0 +1,184 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+)
+
+// pair builds: src --(bottleneck rateBps, delay)--> router --> dst, with an
+// unconstrained reverse path for acks.
+func pair(eng *sim.Engine, rateBps float64, delay time.Duration) (*netem.Host, *netem.Host) {
+	src := netem.NewHost(eng, "src")
+	dst := netem.NewHost(eng, "dst")
+	rt := netem.NewRouter("rt")
+	src.SetUplink(netem.NewLink(eng, "src-rt", netem.LinkConfig{RateBps: rateBps, Delay: delay}, rt))
+	dst.SetUplink(netem.NewLink(eng, "dst-rt", netem.LinkConfig{Delay: delay}, rt))
+	rt.Route("src", netem.NewLink(eng, "rt-src", netem.LinkConfig{}, src))
+	rt.Route("dst", netem.NewLink(eng, "rt-dst", netem.LinkConfig{}, dst))
+	return src, dst
+}
+
+func TestBulkFlowFillsLink(t *testing.T) {
+	eng := sim.New(1)
+	src, dst := pair(eng, 10e6, 5*time.Millisecond)
+	f := NewFlow(eng, "iperf", src, dst, 5201, Config{})
+	m := stats.NewMeter(time.Second)
+	f.OnDeliver(func(at time.Duration, n int) { m.AddBytes(at, n) })
+	f.Start(0)
+	eng.RunUntil(20 * time.Second)
+	f.Stop()
+	got := m.MeanRateMbps(5*time.Second, 20*time.Second)
+	if got < 8.5 || got > 10.1 {
+		t.Errorf("steady goodput = %.2f Mbps on a 10 Mbps link, want 8.5-10", got)
+	}
+}
+
+func TestBulkFlowSlowLink(t *testing.T) {
+	eng := sim.New(2)
+	src, dst := pair(eng, 0.5e6, 10*time.Millisecond)
+	f := NewFlow(eng, "iperf", src, dst, 5201, Config{})
+	m := stats.NewMeter(time.Second)
+	f.OnDeliver(func(at time.Duration, n int) { m.AddBytes(at, n) })
+	f.Start(0)
+	eng.RunUntil(30 * time.Second)
+	got := m.MeanRateMbps(5*time.Second, 30*time.Second)
+	if got < 0.4 || got > 0.52 {
+		t.Errorf("goodput = %.3f Mbps on a 0.5 Mbps link, want ~0.42-0.5", got)
+	}
+}
+
+func TestBoundedTransferCompletes(t *testing.T) {
+	eng := sim.New(3)
+	src, dst := pair(eng, 5e6, 5*time.Millisecond)
+	f := NewFlow(eng, "dl", src, dst, 80, Config{})
+	done := time.Duration(0)
+	f.OnComplete(func() { done = eng.Now() })
+	var bytes int
+	f.OnDeliver(func(_ time.Duration, n int) { bytes += n })
+	f.Start(1_000_000)
+	eng.RunUntil(time.Minute)
+	if done == 0 {
+		t.Fatal("transfer never completed")
+	}
+	if bytes < 1_000_000 {
+		t.Errorf("delivered %d bytes, want >= 1MB", bytes)
+	}
+	// 1 MB over 5 Mbps ≈ 1.6 s + slow start; allow up to 5 s.
+	if done > 5*time.Second {
+		t.Errorf("1 MB over 5 Mbps took %v", done)
+	}
+}
+
+func TestLossRecovery(t *testing.T) {
+	eng := sim.New(4)
+	src, dst := pair(eng, 2e6, 10*time.Millisecond)
+	// Small queue to force drops.
+	src.Uplink().SetQueueBytes(6 * 1500)
+	f := NewFlow(eng, "iperf", src, dst, 5201, Config{})
+	m := stats.NewMeter(time.Second)
+	f.OnDeliver(func(at time.Duration, n int) { m.AddBytes(at, n) })
+	f.Start(0)
+	eng.RunUntil(30 * time.Second)
+	if f.FastRecoveries == 0 {
+		t.Error("no fast recoveries despite a tiny queue")
+	}
+	got := m.MeanRateMbps(5*time.Second, 30*time.Second)
+	if got < 1.2 {
+		t.Errorf("goodput = %.2f Mbps with small queue on 2 Mbps link, want >= 1.2", got)
+	}
+}
+
+func TestRTORecoveryAfterBlackout(t *testing.T) {
+	eng := sim.New(5)
+	src, dst := pair(eng, 2e6, 10*time.Millisecond)
+	f := NewFlow(eng, "iperf", src, dst, 5201, Config{})
+	m := stats.NewMeter(time.Second)
+	f.OnDeliver(func(at time.Duration, n int) { m.AddBytes(at, n) })
+	f.Start(0)
+	// Blackout: shrink the link to a trickle with a tiny queue at t=5s.
+	eng.Schedule(5*time.Second, func() {
+		src.Uplink().SetRate(1000)
+		src.Uplink().SetQueueBytes(1500)
+	})
+	eng.Schedule(15*time.Second, func() {
+		src.Uplink().SetRate(2e6)
+		src.Uplink().SetQueueBytes(netem.DefaultQueueBytes(2e6))
+	})
+	eng.RunUntil(40 * time.Second)
+	if f.RTOCount == 0 {
+		t.Error("no RTOs during a 10 s blackout")
+	}
+	got := m.MeanRateMbps(25*time.Second, 40*time.Second)
+	if got < 1.2 {
+		t.Errorf("post-blackout goodput = %.2f Mbps, want >= 1.2 (recovered)", got)
+	}
+}
+
+func TestTwoFlowsShareRoughlyFairly(t *testing.T) {
+	eng := sim.New(6)
+	// Two senders behind one shared 4 Mbps bottleneck.
+	srcA := netem.NewHost(eng, "a")
+	srcB := netem.NewHost(eng, "b")
+	dst := netem.NewHost(eng, "dst")
+	sw := netem.NewRouter("sw")
+	rt := netem.NewRouter("rt")
+	srcA.SetUplink(netem.NewLink(eng, "a-sw", netem.LinkConfig{Delay: time.Millisecond}, sw))
+	srcB.SetUplink(netem.NewLink(eng, "b-sw", netem.LinkConfig{Delay: time.Millisecond}, sw))
+	sw.DefaultRoute(netem.NewLink(eng, "sw-rt", netem.LinkConfig{RateBps: 4e6, Delay: 5 * time.Millisecond}, rt))
+	rt.Route("dst", netem.NewLink(eng, "rt-dst", netem.LinkConfig{}, dst))
+	back := netem.NewLink(eng, "rt-sw-back", netem.LinkConfig{Delay: time.Millisecond}, sw)
+	_ = back
+	dst.SetUplink(netem.NewLink(eng, "dst-rt", netem.LinkConfig{Delay: 5 * time.Millisecond}, rt))
+	rt.Route("a", netem.NewLink(eng, "rt-a", netem.LinkConfig{}, srcA))
+	rt.Route("b", netem.NewLink(eng, "rt-b", netem.LinkConfig{}, srcB))
+	sw.Route("a", netem.NewLink(eng, "sw-a", netem.LinkConfig{}, srcA))
+	sw.Route("b", netem.NewLink(eng, "sw-b", netem.LinkConfig{}, srcB))
+
+	fa := NewFlow(eng, "fa", srcA, dst, 5001, Config{})
+	fb := NewFlow(eng, "fb", srcB, dst, 5002, Config{})
+	ma, mb := stats.NewMeter(time.Second), stats.NewMeter(time.Second)
+	fa.OnDeliver(func(at time.Duration, n int) { ma.AddBytes(at, n) })
+	fb.OnDeliver(func(at time.Duration, n int) { mb.AddBytes(at, n) })
+	fa.Start(0)
+	fb.Start(0)
+	eng.RunUntil(180 * time.Second)
+	ra := ma.MeanRateMbps(60*time.Second, 180*time.Second)
+	rb := mb.MeanRateMbps(60*time.Second, 180*time.Second)
+	share := stats.Share(ra, rb)
+	if share < 0.25 || share > 0.75 {
+		t.Errorf("share = %.2f (a=%.2f b=%.2f Mbps), want 0.25-0.75", share, ra, rb)
+	}
+	if ra+rb < 3.0 {
+		t.Errorf("combined goodput = %.2f Mbps on 4 Mbps link, want >= 3", ra+rb)
+	}
+}
+
+func TestStopHaltsTraffic(t *testing.T) {
+	eng := sim.New(7)
+	src, dst := pair(eng, 2e6, 5*time.Millisecond)
+	f := NewFlow(eng, "iperf", src, dst, 5201, Config{})
+	m := stats.NewMeter(time.Second)
+	f.OnDeliver(func(at time.Duration, n int) { m.AddBytes(at, n) })
+	f.Start(0)
+	eng.RunUntil(5 * time.Second)
+	f.Stop()
+	eng.RunUntil(10 * time.Second)
+	if after := m.MeanRateMbps(6*time.Second, 10*time.Second); after > 0.1 {
+		t.Errorf("traffic after Stop = %.2f Mbps, want ~0", after)
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	eng := sim.New(8)
+	src, dst := pair(eng, 10e6, 25*time.Millisecond) // ~50ms RTT
+	f := NewFlow(eng, "iperf", src, dst, 5201, Config{})
+	f.Start(0)
+	eng.RunUntil(2 * time.Second)
+	if f.SRTT() < 45*time.Millisecond || f.SRTT() > 250*time.Millisecond {
+		t.Errorf("SRTT = %v, want ~50ms-250ms (base RTT 50ms + queueing)", f.SRTT())
+	}
+}

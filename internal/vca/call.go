@@ -1,0 +1,136 @@
+package vca
+
+import (
+	"fmt"
+
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+)
+
+// ViewMode is the call's viewing modality (§6).
+type ViewMode int
+
+// Viewing modes common to all three VCAs (§6).
+const (
+	// Gallery shows all participants in a tiled grid (the default).
+	Gallery ViewMode = iota
+	// Speaker pins the first client's video on every other participant's
+	// screen (§6.2: only one client pinning suffices to change the
+	// pinned sender's uplink; we pin on all, as the paper's experiment).
+	Speaker
+)
+
+// CallOptions configure a call beyond its participants.
+type CallOptions struct {
+	Mode ViewMode
+	Seed int64
+}
+
+// Call wires N clients and one SFU into a conference and manages its
+// lifecycle. Topology (hosts, links, shaping) is owned by the caller; the
+// Call only attaches protocol machinery to hosts.
+type Call struct {
+	Prof    *Profile
+	Clients []*Client
+	Server  *Server
+
+	eng *sim.Engine
+}
+
+// NewCall creates a call between the given client hosts through the server
+// host. Client 0 is "C1" in the paper's terms: the instrumented client
+// (and the pinned participant in Speaker mode).
+func NewCall(eng *sim.Engine, prof *Profile, server *netem.Host, clientHosts []*netem.Host, opt CallOptions) *Call {
+	if len(clientHosts) < 2 {
+		panic("vca: a call needs at least two clients")
+	}
+	names := make([]string, len(clientHosts))
+	for i, h := range clientHosts {
+		names[i] = h.Name
+	}
+	c := &Call{Prof: prof, eng: eng}
+	c.Server = newServer(eng, prof, server, names)
+	for i, h := range clientHosts {
+		cl := newClient(eng, prof, h.Name, h, server.Name, opt.Seed+int64(i)*7919)
+		c.Clients = append(c.Clients, cl)
+	}
+	c.applyLayout(opt.Mode)
+	return c
+}
+
+// applyLayout computes displayed sets and per-sender budgets (§6).
+func (c *Call) applyLayout(mode ViewMode) {
+	n := len(c.Clients)
+	for i, cl := range c.Clients {
+		var displayed []string
+		tiles := c.Prof.VisibleTiles(n)
+		for j, other := range c.Clients {
+			if j == i {
+				continue
+			}
+			if mode == Speaker {
+				// Pinned participant always displayed; others as thumbs.
+				displayed = append(displayed, other.Name)
+				continue
+			}
+			if len(displayed) < tiles {
+				displayed = append(displayed, other.Name)
+			}
+		}
+		c.Server.SetDisplayed(cl.Name, displayed)
+	}
+	for i, cl := range c.Clients {
+		cl.SetTierBps(c.senderBudget(mode, n, i == 0))
+	}
+}
+
+// senderBudget is the layout-imposed video budget for one sender.
+func (c *Call) senderBudget(mode ViewMode, n int, pinnedClient bool) float64 {
+	p := c.Prof
+	var tierRate float64
+	switch {
+	case mode == Speaker && pinnedClient:
+		if p.SpeakerUplinkBps != nil {
+			tierRate = p.SpeakerUplinkBps(n)
+		} else {
+			tierRate = p.TierBps[TierSpeaker]
+		}
+	case mode == Speaker:
+		tierRate = p.TierBps[TierThumb]
+	default:
+		tierRate = p.TierBps[p.GalleryTier(n)]
+	}
+	if p.MediaMode == ModeSimulcast {
+		// The budget covers both simulcast copies; a TierLow request
+		// means "low copy only".
+		if tierRate <= p.TierBps[TierLow] {
+			return p.SimLowCapBps * 1.3
+		}
+		return tierRate + p.SimLowCapBps
+	}
+	return tierRate
+}
+
+// Start begins the call: all clients and the server go live.
+func (c *Call) Start() {
+	c.Server.start()
+	for _, cl := range c.Clients {
+		cl.start(cl.TierBps())
+	}
+}
+
+// Stop tears the call down.
+func (c *Call) Stop() {
+	for _, cl := range c.Clients {
+		cl.stop()
+	}
+	c.Server.stop()
+}
+
+// C1 returns the instrumented client (client 0).
+func (c *Call) C1() *Client { return c.Clients[0] }
+
+// String identifies the call.
+func (c *Call) String() string {
+	return fmt.Sprintf("%s call, %d clients", c.Prof.Name, len(c.Clients))
+}

@@ -1,0 +1,450 @@
+package vca
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"vcalab/internal/cc"
+	"vcalab/internal/codec"
+	"vcalab/internal/media"
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+	"vcalab/internal/webrtcstats"
+)
+
+// Client is one VCA participant: a media sender (source → encoder →
+// packetizer → host) plus a media receiver per remote participant, with
+// RTCP-style feedback loops at 100 ms cadence.
+type Client struct {
+	Name string
+
+	eng       *sim.Engine
+	prof      *Profile
+	host      *netem.Host
+	server    string // server host name
+	rng       *rand.Rand
+	startedAt time.Duration
+
+	// --- sender ---
+	ccUp       cc.Controller
+	single     *codec.Encoder
+	simul      *codec.Simulcast
+	svc        *codec.SVC
+	tierBps    float64 // layout-imposed video cap
+	lowAlloc   float64 // Meet SFU low-copy allocation (0 = default)
+	stallUntil time.Duration
+	seq        uint16
+	padOwed    float64
+	lastPad    time.Duration
+
+	// --- receiver ---
+	recv map[string]*media.Receiver
+
+	// --- instrumentation ---
+	UpMeter   *stats.Meter // bytes this client put on the wire
+	DownMeter *stats.Meter // bytes delivered to this client
+	Recorder  *webrtcstats.Recorder
+	// FIRsForMyVideo counts FIR messages received for this client's
+	// outbound video (the paper's Fig 3b metric).
+	FIRsForMyVideo int
+
+	tickers []*sim.Ticker
+	running bool
+}
+
+func newClient(eng *sim.Engine, prof *Profile, name string, host *netem.Host, server string, seed int64) *Client {
+	c := &Client{
+		Name:      name,
+		eng:       eng,
+		prof:      prof,
+		host:      host,
+		server:    server,
+		rng:       rand.New(rand.NewSource(seed)),
+		recv:      map[string]*media.Receiver{},
+		UpMeter:   stats.NewMeter(time.Second),
+		DownMeter: stats.NewMeter(time.Second),
+		Recorder:  webrtcstats.NewRecorder(),
+	}
+	src := codec.NewSource(c.rng)
+	keyInt := prof.KeyInterval
+	if keyInt == 0 {
+		keyInt = 10 * time.Second
+	}
+	switch prof.MediaMode {
+	case ModeSimulcast:
+		c.simul = codec.NewSimulcast(prof.LowLadder, prof.Ladder, prof.SimLowCapBps, prof.SimMinHighBps, src, c.rng)
+		c.simul.Low.KeyInterval = keyInt
+		c.simul.High.KeyInterval = keyInt
+	case ModeSVC:
+		c.svc = codec.NewSVC(prof.Ladder, prof.SVCSplit, src, c.rng)
+		c.svc.SetKeyInterval(keyInt)
+	default:
+		c.single = codec.NewEncoder("video", prof.Ladder, src, c.rng)
+		c.single.KeyInterval = keyInt
+	}
+	host.HandleFunc(PortMedia, c.onMedia)
+	host.HandleFunc(PortFeedback, c.onFeedback)
+	host.HandleFunc(PortSignal, c.onSignal)
+	return c
+}
+
+// SetTierBps sets the layout-imposed cap on this client's video target
+// (§6: tile size determines the requested resolution).
+func (c *Client) SetTierBps(bps float64) { c.tierBps = bps }
+
+// TierBps returns the current layout cap.
+func (c *Client) TierBps() float64 { return c.tierBps }
+
+// CC exposes the uplink congestion controller (for tests).
+func (c *Client) CC() cc.Controller { return c.ccUp }
+
+// Receiver returns the media receiver tracking origin's stream, creating
+// it on first use.
+func (c *Client) Receiver(origin string) *media.Receiver {
+	r, ok := c.recv[origin]
+	if !ok {
+		r = media.NewReceiver()
+		r.OnFIR = func(now time.Duration) {
+			c.sendSignal(&FIRMsg{From: c.Name, Origin: origin})
+		}
+		c.recv[origin] = r
+	}
+	return r
+}
+
+// start begins media flow and feedback/stat tickers.
+func (c *Client) start(nominalVideoBps float64) {
+	c.running = true
+	c.startedAt = c.eng.Now()
+	c.ccUp = c.prof.NewClientCC(nominalVideoBps)
+
+	// Video capture tick (30 Hz).
+	c.tickers = append(c.tickers, c.eng.Every(time.Second/30, c.videoTick))
+	// Audio: 50 packets/s of 100 B payload = 40 kbps.
+	c.tickers = append(c.tickers, c.eng.Every(time.Second/50, c.audioTick))
+	// Padding / probing budget (20 ms granularity).
+	c.tickers = append(c.tickers, c.eng.Every(20*time.Millisecond, c.padTick))
+	// Receiver feedback at 100 ms.
+	c.tickers = append(c.tickers, c.eng.Every(100*time.Millisecond, c.feedbackTick))
+	// WebRTC-stats sampling at 1 s (§3.2: per-second granularity).
+	c.tickers = append(c.tickers, c.eng.Every(time.Second, c.statsTick))
+}
+
+// stop halts all activity (call teardown).
+func (c *Client) stop() {
+	c.running = false
+	for _, t := range c.tickers {
+		t.Stop()
+	}
+	c.tickers = nil
+}
+
+// videoTarget computes the current encoder budget.
+func (c *Client) videoTarget() float64 {
+	t := c.ccUp.TargetBps() - c.prof.AudioBps
+	if c.tierBps > 0 && t > c.tierBps {
+		t = c.tierBps
+	}
+	if t < 30_000 {
+		t = 30_000
+	}
+	return t
+}
+
+func (c *Client) videoTick() {
+	if !c.running {
+		return
+	}
+	now := c.eng.Now()
+	// Random encoder pipeline stalls (Teams-Chrome quirk, §3.2).
+	if now < c.stallUntil {
+		return
+	}
+	if c.prof.StallEvery > 0 {
+		tickP := (time.Second / 30).Seconds() / c.prof.StallEvery.Seconds()
+		if c.rng.Float64() < tickP {
+			c.stallUntil = now + c.prof.StallDur
+			return
+		}
+	}
+	target := c.videoTarget()
+	var frames []*codec.Frame
+	switch c.prof.MediaMode {
+	case ModeSimulcast:
+		if c.lowAlloc > 0 {
+			// Meet SFU asked for a reduced low copy (receiver starved).
+			c.simul.Low.SetTarget(c.lowAlloc)
+			c.simul.High.SetTarget(maxf(0, target-c.lowAlloc))
+			if target-c.lowAlloc < c.prof.SimMinHighBps {
+				c.simul.High.SetTarget(0)
+			}
+		} else {
+			c.simul.SetTarget(target)
+		}
+		frames = c.simul.Tick(now)
+	case ModeSVC:
+		c.svc.SetTarget(target)
+		frames = c.svc.Tick(now)
+	default:
+		c.single.SetTarget(target)
+		if f := c.single.Tick(now); f != nil {
+			frames = []*codec.Frame{f}
+		}
+	}
+	for _, f := range frames {
+		c.sendFrame(f)
+	}
+}
+
+// sendFrame packetizes one encoded frame into RTP-sized packets.
+func (c *Client) sendFrame(f *codec.Frame) {
+	remaining := f.Bytes
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > maxPayload {
+			chunk = maxPayload
+		}
+		remaining -= chunk
+		last := remaining == 0
+		mp := &MediaPacket{
+			Origin:   c.Name,
+			StreamID: f.StreamID,
+			Layer:    f.Layer,
+			SSRC:     1,
+			Seq:      c.seq,
+			FrameSeq: f.FrameSeq,
+			LayerEnd: last,
+			FrameEnd: last && f.Layer == c.topLayer(),
+			Keyframe: f.Keyframe,
+		}
+		if mp.LayerEnd {
+			mp.Params = f.Params
+			mp.HasParams = true
+		}
+		c.seq++
+		c.send(mp, chunk+wireOverhead)
+	}
+}
+
+// topLayer is the highest SVC layer index (frame-end marker placement).
+func (c *Client) topLayer() int {
+	if c.prof.MediaMode == ModeSVC {
+		return len(c.prof.SVCSplit) - 1
+	}
+	return 0
+}
+
+func (c *Client) audioTick() {
+	if !c.running {
+		return
+	}
+	mp := &MediaPacket{
+		Origin: c.Name, StreamID: "audio", SSRC: 2, Seq: c.seq, Audio: true,
+	}
+	c.seq++
+	c.send(mp, 100+wireOverhead)
+}
+
+// padTick emits FEC/probe padding at the controller's requested rate
+// (Zoom's probe bursts, GCC recovery probes).
+func (c *Client) padTick() {
+	if !c.running || c.ccUp == nil {
+		return
+	}
+	now := c.eng.Now()
+	dt := (now - c.lastPad).Seconds()
+	if c.lastPad == 0 {
+		dt = 0.02
+	}
+	c.lastPad = now
+	c.padOwed += c.ccUp.PadRateBps(now) / 8 * dt
+	for c.padOwed >= maxPayload {
+		c.padOwed -= maxPayload
+		mp := &MediaPacket{Origin: c.Name, StreamID: "pad", SSRC: 1, Seq: c.seq, Padding: true}
+		c.seq++
+		c.send(mp, maxPayload+wireOverhead)
+	}
+}
+
+func (c *Client) send(mp *MediaPacket, wireBytes int) {
+	mp.OriginSentAt = c.eng.Now()
+	c.UpMeter.AddBytes(c.eng.Now(), wireBytes)
+	c.host.Send(&netem.Packet{
+		Size:    wireBytes,
+		From:    netem.Addr{Host: c.Name, Port: PortMedia},
+		To:      netem.Addr{Host: c.server, Port: PortMedia},
+		Flow:    c.prof.Name + "/" + c.Name + "/" + mp.StreamID,
+		Payload: mp,
+	})
+}
+
+func (c *Client) sendSignal(payload any) {
+	c.host.Send(&netem.Packet{
+		Size:    firWire,
+		From:    netem.Addr{Host: c.Name, Port: PortSignal},
+		To:      netem.Addr{Host: c.server, Port: PortSignal},
+		Flow:    c.prof.Name + "/" + c.Name + "/signal",
+		Payload: payload,
+	})
+}
+
+// onMedia handles a forwarded media packet from the SFU.
+func (c *Client) onMedia(pkt *netem.Packet) {
+	if !c.running {
+		return
+	}
+	mp, ok := pkt.Payload.(*MediaPacket)
+	if !ok {
+		return
+	}
+	c.DownMeter.AddBytes(c.eng.Now(), pkt.Size)
+	sentAt := pkt.SentAt
+	if mp.E2E {
+		// Pass-through relay (Teams): the delay signal spans the whole
+		// path, uplink queueing included (abs-send-time semantics).
+		sentAt = mp.OriginSentAt
+	}
+	c.Receiver(mp.Origin).OnPacket(c.eng.Now(), mp.Info(pkt.Size, sentAt))
+}
+
+// onFeedback handles receiver reports about this client's uplink.
+func (c *Client) onFeedback(pkt *netem.Packet) {
+	if !c.running || c.ccUp == nil {
+		return
+	}
+	fb, ok := pkt.Payload.(*FeedbackMsg)
+	if !ok {
+		return
+	}
+	st := fb.Stats
+	c.ccUp.OnFeedback(cc.Feedback{
+		Now:            c.eng.Now(),
+		Interval:       st.Interval,
+		RTT:            2*st.QueueDelay + 40*time.Millisecond,
+		LossFraction:   st.LossFraction,
+		ReceiveRateBps: st.RateBps,
+		QueueDelay:     st.QueueDelay,
+	})
+}
+
+// onSignal handles FIR and allocation messages arriving from the server.
+func (c *Client) onSignal(pkt *netem.Packet) {
+	if !c.running {
+		return
+	}
+	switch m := pkt.Payload.(type) {
+	case *FIRMsg:
+		c.FIRsForMyVideo++
+		switch c.prof.MediaMode {
+		case ModeSimulcast:
+			c.simul.Low.RequestKeyframe()
+			c.simul.High.RequestKeyframe()
+		case ModeSVC:
+			c.svc.RequestKeyframe()
+		default:
+			c.single.RequestKeyframe()
+		}
+	case *AllocMsg:
+		c.lowAlloc = m.LowBps
+	}
+}
+
+// feedbackTick aggregates all receive legs into one report to the server.
+func (c *Client) feedbackTick() {
+	if !c.running {
+		return
+	}
+	now := c.eng.Now()
+	var agg media.IntervalStats
+	var expectedSum int
+	var lossWeighted float64
+	names := make([]string, 0, len(c.recv))
+	for name := range c.recv {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := c.recv[name]
+		st := r.Take(now)
+		agg.RateBps += st.RateBps
+		expectedSum += st.Expected
+		lossWeighted += st.LossFraction * float64(st.Expected)
+		if st.QueueDelay > agg.QueueDelay {
+			agg.QueueDelay = st.QueueDelay
+		}
+		agg.Received += st.Received
+		agg.Interval = st.Interval
+	}
+	agg.Expected = expectedSum
+	if expectedSum > 0 {
+		agg.LossFraction = lossWeighted / float64(expectedSum)
+	}
+	if agg.Interval == 0 {
+		agg.Interval = 100 * time.Millisecond
+	}
+	c.host.Send(&netem.Packet{
+		Size:    feedbackWire,
+		From:    netem.Addr{Host: c.Name, Port: PortFeedback},
+		To:      netem.Addr{Host: c.server, Port: PortFeedback},
+		Flow:    c.prof.Name + "/" + c.Name + "/rtcp",
+		Payload: &FeedbackMsg{From: c.Name, Stats: agg},
+	})
+}
+
+// statsTick samples the WebRTC-stats emulation (1 Hz, §3.2).
+func (c *Client) statsTick() {
+	if !c.running {
+		return
+	}
+	now := c.eng.Now()
+	s := webrtcstats.Sample{T: now - c.startedAt}
+	// Outbound: the main video stream's current parameters.
+	switch c.prof.MediaMode {
+	case ModeSimulcast:
+		if c.simul.High.Target() > 0 {
+			s.Out = c.simul.High.Params()
+		} else {
+			s.Out = c.simul.Low.Params()
+		}
+	case ModeSVC:
+		s.Out = c.svc.Params()
+	default:
+		s.Out = c.single.Params()
+	}
+	s.OutTargetBps = c.videoTarget()
+	s.FIRCount = c.FIRsForMyVideo
+	// Inbound: aggregate over origins (2-party calls have exactly one).
+	// Pick the params of the busiest video stream deterministically —
+	// padding-only receivers (server probes) carry no params.
+	var frames, bestFrames int
+	var freeze time.Duration
+	names := make([]string, 0, len(c.recv))
+	for name := range c.recv {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := c.recv[name]
+		if r.DisplayedFrames() >= bestFrames && r.LastParams.Width > 0 {
+			bestFrames = r.DisplayedFrames()
+			s.In = r.LastParams
+		}
+		frames += r.DisplayedFrames()
+		freeze += r.FreezeTime()
+	}
+	s.InFramesTotal = frames
+	s.FreezeTime = freeze
+	c.Recorder.Add(s)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Host exposes the client's network host (for instrumentation).
+func (c *Client) Host() *netem.Host { return c.host }

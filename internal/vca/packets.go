@@ -1,0 +1,101 @@
+// Package vca models the three video conferencing applications the paper
+// measures — Zoom, Google Meet and Microsoft Teams — as mechanism-faithful
+// compositions of the substrates: per-VCA congestion control (internal/cc),
+// per-VCA encoding strategy (internal/codec: simulcast for Meet, SVC for
+// Zoom, single stream for Teams), per-VCA relay-server behaviour (this
+// package's Server), and receiver-side media handling (internal/media).
+//
+// The package deliberately implements the mechanisms the paper identifies
+// rather than curve-fitting its figures; the published shapes re-emerge
+// from the mechanism interplay (see DESIGN.md §4).
+package vca
+
+import (
+	"time"
+
+	"vcalab/internal/codec"
+	"vcalab/internal/media"
+)
+
+// Well-known ports used on every host.
+const (
+	PortMedia    = 5004 // RTP media
+	PortFeedback = 5005 // RTCP receiver feedback
+	PortSignal   = 5006 // FIR and SFU allocation signalling
+)
+
+// Wire overhead per packet: 12 B RTP + 8 B UDP + 20 B IP.
+const wireOverhead = 40
+
+// maxPayload is the media packetization MTU budget.
+const maxPayload = 1200
+
+// MediaPacket is the typed payload of an RTP media packet in the emulator.
+// internal/pcap can serialize it to a real RTP packet for traces.
+type MediaPacket struct {
+	Origin   string // participant whose media this is
+	StreamID string // "video", "sim/low", "sim/high", "svc", "audio", "pad"
+	Layer    int    // SVC layer
+	SSRC     uint32
+	Seq      uint16
+	FrameSeq int
+	// LayerEnd marks the last packet of this frame's layer; FrameEnd
+	// marks the last packet of the whole frame (top selected layer).
+	// The SFU rewrites FrameEnd when it strips SVC layers.
+	LayerEnd bool
+	FrameEnd bool
+	Keyframe bool
+	Audio    bool
+	Padding  bool // FEC / probe padding
+
+	// OriginSentAt is stamped by the origin client and survives
+	// forwarding; E2E is set by a pass-through relay (Teams 2-party) to
+	// tell the receiver its delay signal should span the whole path.
+	OriginSentAt time.Duration
+	E2E          bool
+
+	Params    codec.EncodeParams
+	HasParams bool
+}
+
+// Info converts the packet to the receiver-side metadata structure.
+// Audio shares the padding path in media.Receiver: it counts toward rate
+// and loss but not toward video frame assembly.
+func (m *MediaPacket) Info(wireBytes int, sentAt time.Duration) media.PacketInfo {
+	return media.PacketInfo{
+		Seq:       m.Seq,
+		FrameSeq:  m.FrameSeq,
+		FrameEnd:  m.FrameEnd,
+		Keyframe:  m.Keyframe,
+		Bytes:     wireBytes,
+		SentAt:    sentAt,
+		Padding:   m.Padding || m.Audio,
+		Params:    m.Params,
+		HasParams: m.HasParams,
+	}
+}
+
+// FeedbackMsg is the periodic receiver report (100 ms cadence), carrying
+// the aggregate interval statistics the congestion controllers consume.
+type FeedbackMsg struct {
+	From  string // reporting client
+	Stats media.IntervalStats
+}
+
+// FIRMsg requests a keyframe for Origin's stream (RTCP FIR, RFC 5104).
+type FIRMsg struct {
+	From   string
+	Origin string
+}
+
+// AllocMsg is the Meet SFU's signal to a sender adjusting its low simulcast
+// copy under receiver starvation (§3.1: Meet's downlink floor behaviour).
+type AllocMsg struct {
+	LowBps float64
+}
+
+const (
+	feedbackWire = 90
+	firWire      = 60
+	allocWire    = 60
+)

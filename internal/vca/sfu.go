@@ -1,0 +1,540 @@
+package vca
+
+import (
+	"time"
+
+	"vcalab/internal/cc"
+	"vcalab/internal/media"
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+)
+
+// Server is the VCA's relay/SFU. Its behaviour is what differentiates the
+// three VCAs' downlink dynamics (§4.2):
+//
+//   - Meet: per-receiver congestion control selects one of the sender's two
+//     simulcast copies, with temporal thinning between them, and can ask the
+//     sender to shrink its low copy when a receiver is starved.
+//   - Zoom: per-receiver congestion control forwards an SVC layer subset
+//     and adds server-generated FEC (§3.1).
+//   - Teams: a pure relay — every displayed stream is forwarded and the
+//     receiver's RTCP is relayed to the senders, making congestion control
+//     end-to-end (and slow, Fig 5b/Fig 6).
+type Server struct {
+	Name string
+
+	eng  *sim.Engine
+	prof *Profile
+	host *netem.Host
+
+	clients   []string
+	displayed map[string][]string // receiver -> origins it displays
+	n         int
+	// passthrough marks a pure relay that forwards packets untouched
+	// (Teams in a 2-party call, §4.2): original sequence numbers and
+	// origin timestamps survive, so uplink loss and queueing remain
+	// visible to the far receiver's end-to-end congestion control.
+	passthrough bool
+
+	upRecv map[string]*media.Receiver // per-origin uplink stats
+	legs   map[string]*leg            // per-receiver forwarding state
+	rates  map[string]map[string]*rateEst
+
+	tickers []*sim.Ticker
+	running bool
+}
+
+// leg is the server's state toward one receiver.
+type leg struct {
+	receiver string
+	ctrl     cc.Controller // nil for Teams (pure relay)
+	fwd      map[string]*fwdState
+	padOwed  float64
+	lastPad  time.Duration
+}
+
+// fwdState is the per-(receiver, origin) forwarding state: rewritten
+// sequence space, frame renumbering, stream/layer selection and thinning.
+type fwdState struct {
+	seq        uint16
+	frameOut   int
+	curInFrame int
+	curKeep    bool
+	selStream  string  // Meet: currently selected simulcast copy
+	maxLayer   int     // Zoom: highest forwarded SVC layer
+	thinFactor float64 // fraction of frames forwarded
+	thinAcc    float64
+	needKey    bool // mark next forwarded frame as a keyframe (stream switch)
+	fecOwed    float64
+}
+
+type rateEst struct {
+	bytes int
+	rate  float64 // bps, EWMA
+}
+
+// newServer builds the SFU on the given host.
+func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []string) *Server {
+	s := &Server{
+		Name:      host.Name,
+		eng:       eng,
+		prof:      prof,
+		host:      host,
+		clients:   clients,
+		displayed: map[string][]string{},
+		n:         len(clients),
+		upRecv:    map[string]*media.Receiver{},
+		legs:      map[string]*leg{},
+		rates:     map[string]map[string]*rateEst{},
+	}
+	s.passthrough = prof.NewServerCC == nil && len(clients) == 2
+	for _, c := range clients {
+		s.upRecv[c] = media.NewReceiver()
+		s.rates[c] = map[string]*rateEst{}
+		l := &leg{receiver: c, fwd: map[string]*fwdState{}}
+		if prof.NewServerCC != nil {
+			l.ctrl = prof.NewServerCC()
+		}
+		s.legs[c] = l
+		for _, o := range clients {
+			if o != c {
+				l.fwd[o] = &fwdState{curInFrame: -1, selStream: "sim/high", maxLayer: 1 << 10, thinFactor: 1}
+			}
+		}
+	}
+	host.HandleFunc(PortMedia, s.onMedia)
+	host.HandleFunc(PortFeedback, s.onFeedback)
+	host.HandleFunc(PortSignal, s.onSignal)
+	return s
+}
+
+// SetDisplayed configures which origins each receiver displays (layout).
+func (s *Server) SetDisplayed(receiver string, origins []string) {
+	s.displayed[receiver] = origins
+}
+
+// Leg exposes a receiver leg's controller (for tests).
+func (s *Server) Leg(receiver string) cc.Controller { return s.legs[receiver].ctrl }
+
+func (s *Server) start() {
+	s.running = true
+	s.tickers = append(s.tickers, s.eng.Every(100*time.Millisecond, s.controlTick))
+	s.tickers = append(s.tickers, s.eng.Every(20*time.Millisecond, s.padTick))
+	if s.prof.Kind == KindMeet {
+		s.tickers = append(s.tickers, s.eng.Every(500*time.Millisecond, s.allocTick))
+	}
+}
+
+func (s *Server) stop() {
+	s.running = false
+	for _, t := range s.tickers {
+		t.Stop()
+	}
+	s.tickers = nil
+}
+
+// onMedia receives an uplink packet from a client and forwards it.
+func (s *Server) onMedia(pkt *netem.Packet) {
+	if !s.running {
+		return
+	}
+	mp, ok := pkt.Payload.(*MediaPacket)
+	if !ok {
+		return
+	}
+	// Uplink accounting for the origin's feedback loop. The server does
+	// not decode, so every packet is treated as opaque payload.
+	if r, ok := s.upRecv[mp.Origin]; ok {
+		info := mp.Info(pkt.Size, pkt.SentAt)
+		info.Padding = true
+		r.OnPacket(s.eng.Now(), info)
+	}
+	// Track per-stream arrival rates for selection decisions.
+	s.trackRate(mp, pkt.Size)
+
+	if mp.Padding {
+		return // client probe padding terminates here
+	}
+	for _, receiver := range s.clients {
+		if receiver == mp.Origin {
+			continue
+		}
+		if !s.displays(receiver, mp.Origin) && !mp.Audio {
+			continue
+		}
+		s.forward(s.legs[receiver], mp, pkt.Size)
+	}
+}
+
+func (s *Server) displays(receiver, origin string) bool {
+	for _, o := range s.displayed[receiver] {
+		if o == origin {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) trackRate(mp *MediaPacket, size int) {
+	key := mp.StreamID
+	if mp.StreamID == "svc" {
+		key = svcKey(mp.Layer)
+	}
+	re, ok := s.rates[mp.Origin][key]
+	if !ok {
+		re = &rateEst{}
+		s.rates[mp.Origin][key] = re
+	}
+	re.bytes += size
+}
+
+func svcKey(layer int) string { return "svc/" + string(rune('0'+layer)) }
+
+// forward applies per-VCA selection and relays the packet.
+func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
+	fs := l.fwd[mp.Origin]
+	if fs == nil {
+		return
+	}
+	if s.passthrough {
+		out := *mp
+		out.E2E = true
+		s.send(l.receiver, &out, size)
+		return
+	}
+	if mp.Audio {
+		s.emit(l, fs, mp, size, false)
+		return
+	}
+	// Meet: the two simulcast copies have independent frame numbering, so
+	// the unselected copy is filtered before any frame-gating state.
+	if s.prof.Kind == KindMeet && mp.StreamID != fs.selStream {
+		return
+	}
+
+	// Frame-boundary decision: all packets of a frame share its fate.
+	if mp.FrameSeq != fs.curInFrame {
+		fs.curInFrame = mp.FrameSeq
+		fs.curKeep = s.keepFrame(fs, mp)
+		if fs.curKeep {
+			fs.frameOut++
+		}
+	}
+	if !fs.curKeep {
+		return
+	}
+	if s.prof.Kind == KindZoom && mp.Layer > fs.maxLayer {
+		return
+	}
+	s.emit(l, fs, mp, size, true)
+}
+
+// keepFrame decides whether a new frame survives temporal thinning.
+func (s *Server) keepFrame(fs *fwdState, mp *MediaPacket) bool {
+	if mp.Keyframe {
+		fs.thinAcc = 0
+		return true
+	}
+	fs.thinAcc += fs.thinFactor
+	if fs.thinAcc >= 1 {
+		fs.thinAcc -= 1
+		return true
+	}
+	return false
+}
+
+// emit rewrites sequence/frame numbers and sends the packet to the leg's
+// receiver, generating FEC overhead where the profile says so.
+func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo bool) {
+	out := *mp
+	out.Seq = fs.seq
+	fs.seq++
+	if isVideo {
+		out.FrameSeq = fs.frameOut
+		if fs.needKey {
+			out.Keyframe = true
+			fs.needKey = false
+		}
+		// Rewrite the frame-end marker for layer-stripped streams.
+		if s.prof.Kind == KindZoom {
+			out.FrameEnd = mp.LayerEnd && (mp.Layer == fs.maxLayer || mp.FrameEnd)
+		}
+	}
+	s.send(l.receiver, &out, size)
+
+	if isVideo && s.prof.ServerFECOverhead > 0 {
+		fs.fecOwed += float64(size) * s.prof.ServerFECOverhead
+		for fs.fecOwed >= 600 {
+			n := int(fs.fecOwed)
+			if n > maxPayload {
+				n = maxPayload
+			}
+			fs.fecOwed -= float64(n)
+			fec := &MediaPacket{Origin: mp.Origin, StreamID: "fec", Seq: fs.seq, Padding: true}
+			fs.seq++
+			s.send(l.receiver, fec, n+wireOverhead)
+		}
+	}
+}
+
+func (s *Server) send(receiver string, mp *MediaPacket, size int) {
+	s.host.Send(&netem.Packet{
+		Size:    size,
+		From:    netem.Addr{Host: s.Name, Port: PortMedia},
+		To:      netem.Addr{Host: receiver, Port: PortMedia},
+		Flow:    s.prof.Name + "/sfu/" + mp.Origin + "/" + mp.StreamID,
+		Payload: mp,
+	})
+}
+
+// onFeedback handles a receiver's aggregate report.
+func (s *Server) onFeedback(pkt *netem.Packet) {
+	if !s.running {
+		return
+	}
+	fb, ok := pkt.Payload.(*FeedbackMsg)
+	if !ok {
+		return
+	}
+	l := s.legs[fb.From]
+	if l == nil {
+		return
+	}
+	if l.ctrl != nil {
+		st := fb.Stats
+		l.ctrl.OnFeedback(cc.Feedback{
+			Now:            s.eng.Now(),
+			Interval:       st.Interval,
+			RTT:            2*st.QueueDelay + 40*time.Millisecond,
+			LossFraction:   st.LossFraction,
+			ReceiveRateBps: st.RateBps,
+			QueueDelay:     st.QueueDelay,
+		})
+		return
+	}
+	// Teams: relay the report end-to-end to every origin the receiver
+	// displays — the far sender does the congestion control (§4.2).
+	for _, origin := range s.displayed[fb.From] {
+		s.host.Send(&netem.Packet{
+			Size:    feedbackWire,
+			From:    netem.Addr{Host: s.Name, Port: PortFeedback},
+			To:      netem.Addr{Host: origin, Port: PortFeedback},
+			Flow:    s.prof.Name + "/sfu/rtcp-relay",
+			Payload: fb,
+		})
+	}
+}
+
+// onSignal relays FIRs to the origin sender.
+func (s *Server) onSignal(pkt *netem.Packet) {
+	if !s.running {
+		return
+	}
+	fir, ok := pkt.Payload.(*FIRMsg)
+	if !ok {
+		return
+	}
+	s.host.Send(&netem.Packet{
+		Size:    firWire,
+		From:    netem.Addr{Host: s.Name, Port: PortSignal},
+		To:      netem.Addr{Host: fir.Origin, Port: PortSignal},
+		Flow:    s.prof.Name + "/sfu/fir",
+		Payload: fir,
+	})
+}
+
+// controlTick runs every 100 ms: refresh rate estimates, send uplink
+// feedback to senders, and update every leg's selection state.
+func (s *Server) controlTick() {
+	if !s.running {
+		return
+	}
+	now := s.eng.Now()
+	// Rate estimator EWMA update.
+	for _, streams := range s.rates {
+		for _, re := range streams {
+			inst := float64(re.bytes) * 8 / 0.1
+			re.rate = 0.5*re.rate + 0.5*inst
+			re.bytes = 0
+		}
+	}
+	// Uplink feedback toward each sender — only when the server owns the
+	// downlink congestion control (Meet/Zoom). Teams relies on e2e RTCP.
+	if s.prof.NewServerCC != nil {
+		for origin, r := range s.upRecv {
+			st := r.Take(now)
+			if st.Interval == 0 {
+				st.Interval = 100 * time.Millisecond
+			}
+			s.host.Send(&netem.Packet{
+				Size:    feedbackWire,
+				From:    netem.Addr{Host: s.Name, Port: PortFeedback},
+				To:      netem.Addr{Host: origin, Port: PortFeedback},
+				Flow:    s.prof.Name + "/sfu/rtcp-up",
+				Payload: &FeedbackMsg{From: s.Name, Stats: st},
+			})
+		}
+	}
+	// Selection per leg.
+	for _, receiver := range s.clients {
+		s.updateSelection(s.legs[receiver])
+	}
+}
+
+// updateSelection recomputes stream/layer/thinning choices for one leg.
+func (s *Server) updateSelection(l *leg) {
+	numVideo := len(s.displayed[l.receiver])
+	if numVideo == 0 {
+		return
+	}
+	var est float64
+	if l.ctrl != nil {
+		est = l.ctrl.TargetBps()
+	}
+	for _, origin := range s.displayed[l.receiver] {
+		fs := l.fwd[origin]
+		if fs == nil {
+			continue
+		}
+		share := 0.0
+		if l.ctrl != nil {
+			share = (est - s.prof.AudioBps*float64(numVideo)) / float64(numVideo)
+		}
+		switch s.prof.Kind {
+		case KindMeet:
+			highRate := s.rate(origin, "sim/high")
+			lowRate := s.rate(origin, "sim/low")
+			prev := fs.selStream
+			switch {
+			case highRate < 30_000:
+				// The high copy is not actually flowing (the sender
+				// disabled it); selecting it would forward nothing.
+				fs.selStream = "sim/low"
+				fs.thinFactor = 1
+			case share >= s.prof.ThinZoneHigh*highRate:
+				fs.selStream = "sim/high"
+				fs.thinFactor = 1
+			case share >= s.prof.ThinZoneLow*highRate:
+				// Temporal-thinning zone (§3.2: FPS-first downlink
+				// adaptation): keep the high copy, drop frames.
+				fs.selStream = "sim/high"
+				fs.thinFactor = share / highRate
+			default:
+				fs.selStream = "sim/low"
+				fs.thinFactor = 1
+				if lowRate > 0 && share < 0.9*lowRate {
+					// Even the low copy exceeds the estimate; thin it
+					// rather than starve (keeps Fig 1b's 39-70%
+					// utilization floor behaviour).
+					fs.thinFactor = maxf(0.4, share/lowRate)
+				}
+			}
+			if fs.selStream != prev {
+				fs.needKey = true
+			}
+		case KindZoom:
+			var cum float64
+			sel := 0
+			for layer := 0; ; layer++ {
+				r := s.rate(origin, svcKey(layer))
+				if r <= 0 && layer >= len(s.prof.SVCSplit) {
+					break
+				}
+				cum += r * (1 + s.prof.ServerFECOverhead)
+				if layer == 0 || cum <= share {
+					sel = layer
+				}
+				if layer >= len(s.prof.SVCSplit)-1 {
+					break
+				}
+			}
+			fs.maxLayer = sel
+			fs.thinFactor = 1
+			// Base layer still above the estimate: thin temporally.
+			if base := s.rate(origin, svcKey(0)) * (1 + s.prof.ServerFECOverhead); sel == 0 && base > 0 && share < base {
+				fs.thinFactor = maxf(0.35, share/base)
+			}
+		case KindTeams:
+			fs.thinFactor = s.prof.ForwardFactor(s.n)
+		}
+	}
+}
+
+func (s *Server) rate(origin, key string) float64 {
+	if re, ok := s.rates[origin][key]; ok {
+		return re.rate
+	}
+	return 0
+}
+
+// padTick emits server-side probe padding per leg (GCC recovery probes on
+// the Meet/Zoom downlink, Fig 5b's fast recovery).
+func (s *Server) padTick() {
+	if !s.running {
+		return
+	}
+	now := s.eng.Now()
+	for _, receiver := range s.clients {
+		l := s.legs[receiver]
+		if l.ctrl == nil {
+			continue
+		}
+		dt := (now - l.lastPad).Seconds()
+		if l.lastPad == 0 {
+			dt = 0.02
+		}
+		l.lastPad = now
+		l.padOwed += l.ctrl.PadRateBps(now) / 8 * dt
+		for l.padOwed >= maxPayload {
+			l.padOwed -= maxPayload
+			mp := &MediaPacket{Origin: s.Name, StreamID: "pad", Padding: true}
+			s.send(receiver, mp, maxPayload+wireOverhead)
+		}
+	}
+}
+
+// allocTick (Meet only): ask senders to shrink their low simulcast copy
+// when some receiver cannot even sustain it (§3.1 downlink floor).
+func (s *Server) allocTick() {
+	if !s.running {
+		return
+	}
+	for _, origin := range s.clients {
+		// Find the minimum share across receivers displaying this origin.
+		minShare := -1.0
+		for _, receiver := range s.clients {
+			if receiver == origin || !s.displays(receiver, origin) {
+				continue
+			}
+			l := s.legs[receiver]
+			if l.ctrl == nil {
+				continue
+			}
+			numVideo := len(s.displayed[receiver])
+			if numVideo == 0 {
+				continue
+			}
+			share := (l.ctrl.TargetBps() - s.prof.AudioBps*float64(numVideo)) / float64(numVideo)
+			if minShare < 0 || share < minShare {
+				minShare = share
+			}
+		}
+		if minShare < 0 {
+			continue
+		}
+		var alloc float64
+		if minShare < 0.9*s.prof.SimLowCapBps {
+			alloc = minShare * 0.9
+			if alloc < 100_000 {
+				alloc = 100_000
+			}
+		}
+		s.host.Send(&netem.Packet{
+			Size:    allocWire,
+			From:    netem.Addr{Host: s.Name, Port: PortSignal},
+			To:      netem.Addr{Host: origin, Port: PortSignal},
+			Flow:    s.prof.Name + "/sfu/alloc",
+			Payload: &AllocMsg{LowBps: alloc},
+		})
+	}
+}

@@ -1,0 +1,188 @@
+// Package vcalab is a laboratory for measuring the performance and network
+// utilization of video conferencing applications, reproducing MacMillan,
+// Mangla, Saxon and Feamster, "Measuring the Performance and Network
+// Utilization of Popular Video Conferencing Applications" (IMC 2021).
+//
+// The library contains mechanism-faithful models of Zoom, Google Meet and
+// Microsoft Teams (congestion control, simulcast/SVC encoding, relay-server
+// behaviour) running over a deterministic discrete-event network emulator,
+// plus the paper's complete experiment harness: static shaping sweeps,
+// transient disruptions, competition against TCP/Netflix/YouTube, and
+// multi-party call modalities.
+//
+// # Quickstart
+//
+//	eng := vcalab.NewEngine(42)
+//	lab := vcalab.NewLab(eng, 1e6, 1e6) // 1 Mbps symmetric access link
+//	c1 := lab.ClientHost("c1")
+//	c2 := lab.RemoteHost("c2", vcalab.RemoteDelay)
+//	sfu := lab.RemoteHost("sfu", vcalab.SFUDelay)
+//	call := vcalab.NewCall(eng, vcalab.Zoom(), sfu,
+//	    []*vcalab.Host{c1, c2}, vcalab.CallOptions{Seed: 42})
+//	call.Start()
+//	eng.RunUntil(150 * time.Second)
+//	call.Stop()
+//	fmt.Printf("upstream: %.2f Mbps\n",
+//	    call.C1().UpMeter.MeanRateMbps(30*time.Second, 150*time.Second))
+//
+// Higher-level experiment runners (RunStatic, RunDisruption,
+// RunCompetition, RunModality) regenerate every table and figure of the
+// paper; see EXPERIMENTS.md for the index.
+package vcalab
+
+import (
+	"vcalab/internal/experiment"
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+	"vcalab/internal/vca"
+)
+
+// Core simulation types.
+type (
+	// Engine is the deterministic discrete-event scheduler everything
+	// runs on.
+	Engine = sim.Engine
+	// Host is a network endpoint; Lab creates them wired into the
+	// testbed topology.
+	Host = netem.Host
+	// Link is a shaped network hop.
+	Link = netem.Link
+)
+
+// NewEngine creates a simulation engine; equal seeds give identical runs.
+func NewEngine(seed int64) *Engine { return sim.New(seed) }
+
+// VCA modelling types.
+type (
+	// Profile is a complete VCA calibration (client + server behaviour).
+	Profile = vca.Profile
+	// Call is a running conference.
+	Call = vca.Call
+	// CallOptions configure viewing mode and seeding.
+	CallOptions = vca.CallOptions
+	// Client is one call participant with its meters and stats recorder.
+	Client = vca.Client
+	// ViewMode selects gallery or speaker viewing (§6).
+	ViewMode = vca.ViewMode
+)
+
+// Viewing modes.
+const (
+	Gallery = vca.Gallery
+	Speaker = vca.Speaker
+)
+
+// Profiles for the five clients the paper studies.
+var (
+	Meet        = vca.Meet
+	Zoom        = vca.Zoom
+	Teams       = vca.Teams
+	TeamsChrome = vca.TeamsChrome
+	ZoomChrome  = vca.ZoomChrome
+	// Profiles returns all five keyed by name.
+	Profiles = vca.Profiles
+)
+
+// NewCall assembles a conference between client hosts through an SFU host.
+var NewCall = vca.NewCall
+
+// Experiment harness.
+type (
+	// Lab is the paper's testbed topology (§2.2 / Fig 7).
+	Lab = experiment.Lab
+	// Direction selects the shaped side of the access link.
+	Direction = experiment.Direction
+
+	// StaticConfig/StaticResult drive §3 (Figs 1-3, Table 2).
+	StaticConfig = experiment.StaticConfig
+	StaticResult = experiment.StaticResult
+	// DisruptionConfig/DisruptionResult drive §4 (Figs 4-6).
+	DisruptionConfig = experiment.DisruptionConfig
+	DisruptionResult = experiment.DisruptionResult
+	// CompetitionConfig/CompetitionResult drive §5 (Figs 8-14).
+	CompetitionConfig = experiment.CompetitionConfig
+	CompetitionResult = experiment.CompetitionResult
+	CompetitorKind    = experiment.CompetitorKind
+	// ModalityConfig/ModalityResult drive §6 (Fig 15).
+	ModalityConfig = experiment.ModalityConfig
+	ModalityResult = experiment.ModalityResult
+	// ImpairmentConfig/ImpairmentResult drive the §8 extension: random
+	// loss and jitter on an unconstrained link.
+	ImpairmentConfig = experiment.ImpairmentConfig
+	ImpairmentResult = experiment.ImpairmentResult
+	// BandwidthTrace replays a time-varying access-link profile (the §8
+	// "other network contexts" extension); TraceStep is one segment.
+	BandwidthTrace = experiment.BandwidthTrace
+	TraceStep      = experiment.TraceStep
+	TraceResult    = experiment.TraceResult
+)
+
+// Directions.
+const (
+	Uplink   = experiment.Uplink
+	Downlink = experiment.Downlink
+)
+
+// Competitor kinds for RunCompetition.
+const (
+	CompVCA     = experiment.CompVCA
+	CompIPerf   = experiment.CompIPerf
+	CompNetflix = experiment.CompNetflix
+	CompYouTube = experiment.CompYouTube
+)
+
+// Topology and experiment constructors/runners.
+var (
+	NewLab         = experiment.NewLab
+	RunStatic      = experiment.RunStatic
+	RunDisruption  = experiment.RunDisruption
+	RunCompetition = experiment.RunCompetition
+	RunModality    = experiment.RunModality
+	RunImpairment  = experiment.RunImpairment
+	RunTrace       = experiment.RunTrace
+	ModalitySweep  = experiment.ModalitySweep
+	Table2         = experiment.Table2
+
+	// Paper parameter grids.
+	PaperCaps             = experiment.PaperCaps
+	PaperDisruptionLevels = experiment.PaperDisruptionLevels
+	PaperCompetitionLinks = experiment.PaperCompetitionLinks
+
+	// Formatters for paper-style output.
+	PrintStatic          = experiment.PrintStatic
+	PrintTable2          = experiment.PrintTable2
+	PrintDisruption      = experiment.PrintDisruption
+	PrintDisruptionTrace = experiment.PrintDisruptionTrace
+	PrintCompetition     = experiment.PrintCompetition
+	PrintModality        = experiment.PrintModality
+	PrintImpairment      = experiment.PrintImpairment
+)
+
+// Topology delays (re-exported from the experiment package).
+const (
+	ClientDelay = experiment.ClientDelay
+	RemoteDelay = experiment.RemoteDelay
+	SFUDelay    = experiment.SFUDelay
+	IPerfDelay  = experiment.IPerfDelay
+)
+
+// Measurement types.
+type (
+	// Series is a time-indexed sample sequence.
+	Series = stats.Series
+	// Summary aggregates repeated measurements with 90% CIs.
+	Summary = stats.Summary
+	// Meter converts byte arrivals into bitrate series.
+	Meter = stats.Meter
+)
+
+// Statistics helpers.
+var (
+	NewMeter  = stats.NewMeter
+	Median    = stats.Median
+	Mean      = stats.Mean
+	Summarize = stats.Summarize
+	TTR       = stats.TTR
+	Share     = stats.Share
+)
