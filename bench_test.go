@@ -422,6 +422,27 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
+// sweepBench runs a reduced Fig 1a sweep (4 caps × 2 reps) at a fixed
+// trial parallelism; the Sequential/Parallel pair below measures the
+// speedup from the worker-pool sweep engine. Results are identical in
+// both — only wall-clock differs.
+func sweepBench(b *testing.B, parallel int) {
+	for i := 0; i < b.N; i++ {
+		vcalab.RunStatic(vcalab.StaticConfig{
+			Profile: vcalab.Meet(), Dir: vcalab.Uplink,
+			CapsMbps: []float64{0.5, 1, 2, 10}, Reps: 2,
+			Dur: 60 * time.Second, Warmup: 20 * time.Second,
+			Seed: 1, Parallel: parallel,
+		})
+	}
+}
+
+// BenchmarkSweepSequential is the pre-runner baseline: one trial at a time.
+func BenchmarkSweepSequential(b *testing.B) { sweepBench(b, 1) }
+
+// BenchmarkSweepParallel fans the same trials across all cores.
+func BenchmarkSweepParallel(b *testing.B) { sweepBench(b, 0) }
+
 // BenchmarkExtensionLossImpairment runs the §8 future-work extension:
 // utilization under random (non-congestive) loss, where the three
 // controllers' loss tolerances separate cleanly.

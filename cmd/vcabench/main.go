@@ -1,12 +1,18 @@
 // Command vcabench regenerates the paper's tables and figures. Each
 // experiment id maps to one table or figure of MacMillan et al. (IMC 2021);
-// see DESIGN.md §3 for the full index.
+// see EXPERIMENTS.md at the repo root for the full index.
 //
 // Usage:
 //
 //	vcabench -experiment table2
 //	vcabench -experiment fig1a -reps 5
 //	vcabench -experiment all -quick
+//	vcabench -experiment fig1a -parallel 8
+//
+// Independent trials fan out across all cores by default (-parallel 0);
+// output is byte-identical to a sequential run (-parallel 1) because each
+// trial is seeded from (base seed, trial index) on its own engine and
+// results aggregate in input order.
 package main
 
 import (
@@ -19,15 +25,38 @@ import (
 )
 
 var (
-	reps  = flag.Int("reps", 3, "repetitions per condition (paper: 3-5)")
-	quick = flag.Bool("quick", false, "coarser grids and shorter calls")
-	seed  = flag.Int64("seed", 1, "base simulation seed")
+	reps     = flag.Int("reps", 3, "repetitions per condition (paper: 3-5)")
+	quick    = flag.Bool("quick", false, "coarser grids and shorter calls")
+	seed     = flag.Int64("seed", 1, "base simulation seed")
+	parallel = flag.Int("parallel", 0, "trials run concurrently (0 = all cores, 1 = sequential); results are identical either way")
+	progress = flag.Bool("progress", true, "report per-sweep trial progress on stderr")
 )
 
 func main() {
 	exp := flag.String("experiment", "table2",
 		"experiment id: table2, fig1a, fig1b, fig1c, fig2, fig3, fig4, fig5, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, all")
 	flag.Parse()
+
+	vcalab.SetDefaultParallelism(*parallel)
+	if *progress {
+		// The \r animation only makes sense on a terminal; on a
+		// redirected stderr emit one newline-terminated line per sweep.
+		tty := false
+		if fi, err := os.Stderr.Stat(); err == nil {
+			tty = fi.Mode()&os.ModeCharDevice != 0
+		}
+		vcalab.SetProgress(func(label string, done, total int) {
+			switch {
+			case tty:
+				fmt.Fprintf(os.Stderr, "\r[%-40s] %d/%d trials", label, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			case done == total:
+				fmt.Fprintf(os.Stderr, "[%s] %d trials done\n", label, total)
+			}
+		})
+	}
 
 	runners := map[string]func(){
 		"table2": table2, "fig1a": fig1a, "fig1b": fig1b, "fig1c": fig1c,

@@ -1,0 +1,3 @@
+module vcalab
+
+go 1.24

@@ -6,6 +6,7 @@ import (
 
 	"vcalab/internal/apps"
 	"vcalab/internal/netem"
+	"vcalab/internal/runner"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/vca"
@@ -47,6 +48,9 @@ type CompetitionConfig struct {
 	LinkMbps    float64 // symmetric shaping, paper: {0.5,1,2,3,4,5}
 	Reps        int     // paper: 3
 	Seed        int64
+	// Parallel is the trial parallelism; 0 = package default, 1 =
+	// sequential. Output is identical for every value.
+	Parallel int
 
 	CallDur time.Duration // incumbent lifetime (default 210 s)
 	CompAt  time.Duration // competitor start (default 30 s)
@@ -95,7 +99,78 @@ type CompetitionResult struct {
 	NetflixPeakParallel stats.Summary
 }
 
-// RunCompetition executes the experiment.
+// competitionTrial is one repetition's raw measurements. nfConns/nfPeak
+// hold at most one sample each (set when the competitor is Netflix).
+type competitionTrial struct {
+	shareUp, shareDown               float64
+	incUp, compUp, incDown, compDown stats.Series
+	nfConns, nfPeak                  []float64
+}
+
+// runTrial executes one repetition on a fresh engine.
+func (cfg *CompetitionConfig) runTrial(rep int) competitionTrial {
+	seed := cfg.Seed + int64(rep)*7127
+	eng := sim.New(seed)
+	lab := NewLab(eng, cfg.LinkMbps*1e6, cfg.LinkMbps*1e6)
+
+	// Bottleneck taps: classify by which bottleneck-side host the
+	// packet belongs to (what tcpdump at the clients saw).
+	mIncUp, mCompUp := stats.NewMeter(time.Second), stats.NewMeter(time.Second)
+	mIncDown, mCompDown := stats.NewMeter(time.Second), stats.NewMeter(time.Second)
+	lab.Uplink().OnSend(func(p *netem.Packet) {
+		switch p.From.Host {
+		case "c1":
+			mIncUp.AddBytes(eng.Now(), p.Size)
+		case "f1":
+			mCompUp.AddBytes(eng.Now(), p.Size)
+		}
+	})
+	lab.Downlink().OnSend(func(p *netem.Packet) {
+		switch p.To.Host {
+		case "c1":
+			mIncDown.AddBytes(eng.Now(), p.Size)
+		case "f1":
+			mCompDown.AddBytes(eng.Now(), p.Size)
+		}
+	})
+
+	// Incumbent call.
+	c1 := lab.ClientHost("c1")
+	c2 := lab.RemoteHost("c2", RemoteDelay)
+	sfu := lab.RemoteHost("sfu", SFUDelay)
+	call := vca.NewCall(eng, cfg.Incumbent, sfu, []*netem.Host{c1, c2}, vca.CallOptions{Seed: seed})
+	call.Start()
+
+	// Competitor.
+	var t competitionTrial
+	f1 := lab.ClientHost("f1")
+	var stopComp func()
+	eng.Schedule(cfg.CompAt, func() {
+		stopComp = startCompetitor(eng, lab, *cfg, f1, seed, &t.nfConns, &t.nfPeak)
+	})
+	eng.Schedule(cfg.CompAt+cfg.CompDur, func() {
+		if stopComp != nil {
+			stopComp()
+		}
+	})
+
+	eng.RunUntil(cfg.CallDur)
+	call.Stop()
+
+	iu := mIncUp.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
+	cu := mCompUp.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
+	id := mIncDown.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
+	cd := mCompDown.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
+	t.shareUp = stats.Share(iu, cu)
+	t.shareDown = stats.Share(id, cd)
+	t.incUp = mIncUp.RateMbps()
+	t.compUp = mCompUp.RateMbps()
+	t.incDown = mIncDown.RateMbps()
+	t.compDown = mCompDown.RateMbps()
+	return t
+}
+
+// RunCompetition executes the experiment, repetitions in parallel.
 func RunCompetition(cfg CompetitionConfig) CompetitionResult {
 	cfg.defaults()
 	name := cfg.Kind.String()
@@ -105,67 +180,20 @@ func RunCompetition(cfg CompetitionConfig) CompetitionResult {
 	res := CompetitionResult{
 		Incumbent: cfg.Incumbent.Name, Competitor: name, LinkMbps: cfg.LinkMbps,
 	}
+	trials := runner.Map(pool(cfg.Parallel, "competition "+res.Incumbent+" vs "+name),
+		cfg.Reps, func(rep int) competitionTrial { return cfg.runTrial(rep) })
+
 	var shUp, shDown, nfConns, nfPeak []float64
 	var incUp, compUp, incDown, compDown []stats.Series
-
-	for rep := 0; rep < cfg.Reps; rep++ {
-		seed := cfg.Seed + int64(rep)*7127
-		eng := sim.New(seed)
-		lab := NewLab(eng, cfg.LinkMbps*1e6, cfg.LinkMbps*1e6)
-
-		// Bottleneck taps: classify by which bottleneck-side host the
-		// packet belongs to (what tcpdump at the clients saw).
-		mIncUp, mCompUp := stats.NewMeter(time.Second), stats.NewMeter(time.Second)
-		mIncDown, mCompDown := stats.NewMeter(time.Second), stats.NewMeter(time.Second)
-		lab.Uplink().OnSend(func(p *netem.Packet) {
-			switch p.From.Host {
-			case "c1":
-				mIncUp.AddBytes(eng.Now(), p.Size)
-			case "f1":
-				mCompUp.AddBytes(eng.Now(), p.Size)
-			}
-		})
-		lab.Downlink().OnSend(func(p *netem.Packet) {
-			switch p.To.Host {
-			case "c1":
-				mIncDown.AddBytes(eng.Now(), p.Size)
-			case "f1":
-				mCompDown.AddBytes(eng.Now(), p.Size)
-			}
-		})
-
-		// Incumbent call.
-		c1 := lab.ClientHost("c1")
-		c2 := lab.RemoteHost("c2", RemoteDelay)
-		sfu := lab.RemoteHost("sfu", SFUDelay)
-		call := vca.NewCall(eng, cfg.Incumbent, sfu, []*netem.Host{c1, c2}, vca.CallOptions{Seed: seed})
-		call.Start()
-
-		// Competitor.
-		f1 := lab.ClientHost("f1")
-		var stopComp func()
-		eng.Schedule(cfg.CompAt, func() {
-			stopComp = startCompetitor(eng, lab, cfg, f1, seed, &nfConns, &nfPeak)
-		})
-		eng.Schedule(cfg.CompAt+cfg.CompDur, func() {
-			if stopComp != nil {
-				stopComp()
-			}
-		})
-
-		eng.RunUntil(cfg.CallDur)
-		call.Stop()
-
-		iu := mIncUp.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
-		cu := mCompUp.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
-		id := mIncDown.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
-		cd := mCompDown.MeanRateMbps(cfg.ShareLo, cfg.ShareHi)
-		shUp = append(shUp, stats.Share(iu, cu))
-		shDown = append(shDown, stats.Share(id, cd))
-		incUp = append(incUp, mIncUp.RateMbps())
-		compUp = append(compUp, mCompUp.RateMbps())
-		incDown = append(incDown, mIncDown.RateMbps())
-		compDown = append(compDown, mCompDown.RateMbps())
+	for _, t := range trials {
+		shUp = append(shUp, t.shareUp)
+		shDown = append(shDown, t.shareDown)
+		incUp = append(incUp, t.incUp)
+		compUp = append(compUp, t.compUp)
+		incDown = append(incDown, t.incDown)
+		compDown = append(compDown, t.compDown)
+		nfConns = append(nfConns, t.nfConns...)
+		nfPeak = append(nfPeak, t.nfPeak...)
 	}
 	res.ShareUp = stats.Summarize(shUp)
 	res.ShareDown = stats.Summarize(shDown)

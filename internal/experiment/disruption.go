@@ -3,6 +3,7 @@ package experiment
 import (
 	"time"
 
+	"vcalab/internal/runner"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/vca"
@@ -17,6 +18,9 @@ type DisruptionConfig struct {
 	LevelMbps float64
 	Reps      int // paper: 4
 	Seed      int64
+	// Parallel is the trial parallelism; 0 = package default, 1 =
+	// sequential. Output is identical for every value.
+	Parallel int
 
 	// Timing knobs (defaults follow §4's method).
 	CallDur  time.Duration // 5 min
@@ -68,44 +72,64 @@ type DisruptionResult struct {
 	Recovered int
 }
 
-// RunDisruption executes the experiment.
+// disruptionTrial is one repetition's raw measurements.
+type disruptionTrial struct {
+	series, far stats.Series
+	ttrSec      float64
+	recovered   bool
+}
+
+// runTrial executes one repetition on a fresh engine.
+func (cfg *DisruptionConfig) runTrial(rep int) disruptionTrial {
+	seed := cfg.Seed + int64(rep)*31337
+	eng := sim.New(seed)
+	call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, seed)
+	call.Start()
+	eng.Schedule(cfg.DropAt, func() {
+		if cfg.Dir == Uplink {
+			lab.SetUplink(cfg.LevelMbps * 1e6)
+		} else {
+			lab.SetDownlink(cfg.LevelMbps * 1e6)
+		}
+	})
+	eng.Schedule(cfg.DropAt+cfg.DropLen, func() {
+		if cfg.Dir == Uplink {
+			lab.SetUplink(0)
+		} else {
+			lab.SetDownlink(0)
+		}
+	})
+	eng.RunUntil(cfg.CallDur)
+	call.Stop()
+
+	var t disruptionTrial
+	if cfg.Dir == Uplink {
+		t.series = call.C1().UpMeter.RateMbps()
+	} else {
+		t.series = call.C1().DownMeter.RateMbps()
+	}
+	t.far = call.Clients[1].UpMeter.RateMbps()
+	if ttr, ok := stats.TTR(t.series, cfg.DropAt, cfg.DropAt+cfg.DropLen, cfg.TTRRoll, cfg.TTRFrac); ok {
+		t.ttrSec = ttr.Seconds()
+		t.recovered = true
+	}
+	return t
+}
+
+// RunDisruption executes the experiment, repetitions in parallel.
 func RunDisruption(cfg DisruptionConfig) DisruptionResult {
 	cfg.defaults()
 	res := DisruptionResult{Profile: cfg.Profile.Name, Dir: cfg.Dir, LevelMbps: cfg.LevelMbps}
+	trials := runner.Map(pool(cfg.Parallel, "disruption "+cfg.Profile.Name+"/"+cfg.Dir.String()),
+		cfg.Reps, func(rep int) disruptionTrial { return cfg.runTrial(rep) })
+
 	var ttrs []float64
 	var repSeries, repFar []stats.Series
-	for rep := 0; rep < cfg.Reps; rep++ {
-		seed := cfg.Seed + int64(rep)*31337
-		eng := sim.New(seed)
-		call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, seed)
-		call.Start()
-		eng.Schedule(cfg.DropAt, func() {
-			if cfg.Dir == Uplink {
-				lab.SetUplink(cfg.LevelMbps * 1e6)
-			} else {
-				lab.SetDownlink(cfg.LevelMbps * 1e6)
-			}
-		})
-		eng.Schedule(cfg.DropAt+cfg.DropLen, func() {
-			if cfg.Dir == Uplink {
-				lab.SetUplink(0)
-			} else {
-				lab.SetDownlink(0)
-			}
-		})
-		eng.RunUntil(cfg.CallDur)
-		call.Stop()
-
-		var s stats.Series
-		if cfg.Dir == Uplink {
-			s = call.C1().UpMeter.RateMbps()
-		} else {
-			s = call.C1().DownMeter.RateMbps()
-		}
-		repSeries = append(repSeries, s)
-		repFar = append(repFar, call.Clients[1].UpMeter.RateMbps())
-		if ttr, ok := stats.TTR(s, cfg.DropAt, cfg.DropAt+cfg.DropLen, cfg.TTRRoll, cfg.TTRFrac); ok {
-			ttrs = append(ttrs, ttr.Seconds())
+	for _, t := range trials {
+		repSeries = append(repSeries, t.series)
+		repFar = append(repFar, t.far)
+		if t.recovered {
+			ttrs = append(ttrs, t.ttrSec)
 			res.Recovered++
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"vcalab/internal/runner"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/vca"
@@ -23,6 +24,9 @@ type ImpairmentConfig struct {
 	Dur      time.Duration
 	Warmup   time.Duration
 	Seed     int64
+	// Parallel is the trial parallelism; 0 = package default, 1 =
+	// sequential. Output is identical for every value.
+	Parallel int
 }
 
 func (c *ImpairmentConfig) defaults() {
@@ -52,28 +56,48 @@ type ImpairmentResult struct {
 	FIRCount    stats.Summary
 }
 
+// impairmentTrial is one repetition's raw measurements.
+type impairmentTrial struct {
+	up, freeze, fir float64
+}
+
+// runTrial executes one (loss, repetition) cell on a fresh engine.
+func (cfg *ImpairmentConfig) runTrial(lossPct float64, rep int) impairmentTrial {
+	seed := cfg.Seed + int64(rep)*17389 + int64(lossPct*100)
+	eng := sim.New(seed)
+	call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, seed)
+	lab.Uplink().SetImpairment(lossPct/100, cfg.Jitter)
+	lab.Downlink().SetImpairment(lossPct/100, cfg.Jitter)
+	call.Start()
+	eng.RunUntil(cfg.Dur)
+	call.Stop()
+	// Quality of C1's video as seen by the far client.
+	far := call.Clients[1].Receiver("c1")
+	return impairmentTrial{
+		up:     call.C1().UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur),
+		freeze: far.FreezeRatio(),
+		fir:    float64(call.C1().FIRsForMyVideo),
+	}
+}
+
 // RunImpairment sweeps random loss at fixed jitter on an otherwise
-// unconstrained link.
+// unconstrained link, all losses × reps trials in parallel.
 func RunImpairment(cfg ImpairmentConfig) []ImpairmentResult {
 	cfg.defaults()
+	trials := runner.Map(pool(cfg.Parallel, "impairment "+cfg.Profile.Name),
+		len(cfg.LossPcts)*cfg.Reps, func(i int) impairmentTrial {
+			return cfg.runTrial(cfg.LossPcts[i/cfg.Reps], i%cfg.Reps)
+		})
+
 	var out []ImpairmentResult
-	for _, lossPct := range cfg.LossPcts {
+	for li, lossPct := range cfg.LossPcts {
 		res := ImpairmentResult{Profile: cfg.Profile.Name, LossPct: lossPct, Jitter: cfg.Jitter}
 		var ups, freezes, firs []float64
 		for rep := 0; rep < cfg.Reps; rep++ {
-			seed := cfg.Seed + int64(rep)*17389 + int64(lossPct*100)
-			eng := sim.New(seed)
-			call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, seed)
-			lab.Uplink().SetImpairment(lossPct/100, cfg.Jitter)
-			lab.Downlink().SetImpairment(lossPct/100, cfg.Jitter)
-			call.Start()
-			eng.RunUntil(cfg.Dur)
-			call.Stop()
-			ups = append(ups, call.C1().UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
-			// Quality of C1's video as seen by the far client.
-			far := call.Clients[1].Receiver("c1")
-			freezes = append(freezes, far.FreezeRatio())
-			firs = append(firs, float64(call.C1().FIRsForMyVideo))
+			t := trials[li*cfg.Reps+rep]
+			ups = append(ups, t.up)
+			freezes = append(freezes, t.freeze)
+			firs = append(firs, t.fir)
 		}
 		res.UpMbps = stats.Summarize(ups)
 		res.FreezeRatio = stats.Summarize(freezes)

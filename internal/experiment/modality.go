@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vcalab/internal/netem"
+	"vcalab/internal/runner"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/vca"
@@ -20,6 +21,9 @@ type ModalityConfig struct {
 	Dur     time.Duration
 	Warmup  time.Duration
 	Seed    int64
+	// Parallel is the trial parallelism; 0 = package default, 1 =
+	// sequential. Output is identical for every value.
+	Parallel int
 }
 
 func (c *ModalityConfig) defaults() {
@@ -44,26 +48,41 @@ type ModalityResult struct {
 	UpMbps, DownMbps stats.Summary
 }
 
-// RunModality executes one (n, mode) condition.
+// modalityTrial is one repetition's raw measurements.
+type modalityTrial struct {
+	up, down float64
+}
+
+// runTrial executes one repetition on a fresh engine.
+func (cfg *ModalityConfig) runTrial(rep int) modalityTrial {
+	seed := cfg.Seed + int64(rep)*52361 + int64(cfg.N)
+	eng := sim.New(seed)
+	lab := NewLab(eng, 0, 0)
+	hosts := []*netem.Host{lab.ClientHost("c1")}
+	for i := 2; i <= cfg.N; i++ {
+		hosts = append(hosts, lab.RemoteHost(fmt.Sprintf("c%d", i), RemoteDelay))
+	}
+	sfu := lab.RemoteHost("sfu", SFUDelay)
+	call := vca.NewCall(eng, cfg.Profile, sfu, hosts, vca.CallOptions{Mode: cfg.Mode, Seed: seed})
+	call.Start()
+	eng.RunUntil(cfg.Dur)
+	call.Stop()
+	return modalityTrial{
+		up:   call.C1().UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur),
+		down: call.C1().DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur),
+	}
+}
+
+// RunModality executes one (n, mode) condition, repetitions in parallel.
 func RunModality(cfg ModalityConfig) ModalityResult {
 	cfg.defaults()
 	res := ModalityResult{Profile: cfg.Profile.Name, N: cfg.N, Mode: cfg.Mode}
+	trials := runner.Map(pool(cfg.Parallel, fmt.Sprintf("modality %s n=%d", cfg.Profile.Name, cfg.N)),
+		cfg.Reps, func(rep int) modalityTrial { return cfg.runTrial(rep) })
 	var ups, downs []float64
-	for rep := 0; rep < cfg.Reps; rep++ {
-		seed := cfg.Seed + int64(rep)*52361 + int64(cfg.N)
-		eng := sim.New(seed)
-		lab := NewLab(eng, 0, 0)
-		hosts := []*netem.Host{lab.ClientHost("c1")}
-		for i := 2; i <= cfg.N; i++ {
-			hosts = append(hosts, lab.RemoteHost(fmt.Sprintf("c%d", i), RemoteDelay))
-		}
-		sfu := lab.RemoteHost("sfu", SFUDelay)
-		call := vca.NewCall(eng, cfg.Profile, sfu, hosts, vca.CallOptions{Mode: cfg.Mode, Seed: seed})
-		call.Start()
-		eng.RunUntil(cfg.Dur)
-		call.Stop()
-		ups = append(ups, call.C1().UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
-		downs = append(downs, call.C1().DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
+	for _, t := range trials {
+		ups = append(ups, t.up)
+		downs = append(downs, t.down)
 	}
 	res.UpMbps = stats.Summarize(ups)
 	res.DownMbps = stats.Summarize(downs)

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"vcalab/internal/runner"
+)
+
+// The experiment runners fan their independent trials out through
+// internal/runner. Each config struct carries a Parallel knob; zero falls
+// back to the package default set here (GOMAXPROCS unless overridden via
+// SetDefaultParallelism, e.g. by vcabench's -parallel flag).
+
+var (
+	poolMu             sync.Mutex
+	defaultParallelism int
+	progressFn         func(label string, done, total int)
+)
+
+// SetDefaultParallelism sets the trial parallelism used when a config's
+// Parallel field is zero. n <= 0 restores the GOMAXPROCS default.
+func SetDefaultParallelism(n int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	defaultParallelism = n
+}
+
+// DefaultParallelism reports the effective default trial parallelism.
+func DefaultParallelism() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if defaultParallelism > 0 {
+		return defaultParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetProgress installs a hook called after each trial of every sweep with
+// a condition label (e.g. "static meet/uplink") and the done/total trial
+// counts. Calls are serialized; nil disables reporting.
+func SetProgress(fn func(label string, done, total int)) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	progressFn = fn
+}
+
+// pool builds the runner for one sweep. parallel <= 0 uses the package
+// default.
+func pool(parallel int, label string) *runner.Runner {
+	poolMu.Lock()
+	fn := progressFn
+	poolMu.Unlock()
+	if parallel <= 0 {
+		parallel = DefaultParallelism()
+	}
+	r := runner.New(parallel)
+	if fn != nil {
+		r.OnProgress = func(done, total int) { fn(label, done, total) }
+	}
+	return r
+}

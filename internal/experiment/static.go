@@ -5,6 +5,7 @@ import (
 
 	"vcalab/internal/codec"
 	"vcalab/internal/netem"
+	"vcalab/internal/runner"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/vca"
@@ -35,6 +36,11 @@ type StaticConfig struct {
 	Dur      time.Duration
 	Warmup   time.Duration
 	Seed     int64
+	// Parallel is the trial parallelism; 0 uses the package default
+	// (GOMAXPROCS), 1 forces a sequential sweep. Results are identical
+	// for every value — trials are independently seeded and collected
+	// in input order.
+	Parallel int
 }
 
 func (c *StaticConfig) defaults() {
@@ -82,44 +88,73 @@ func twoPartyCall(eng *sim.Engine, prof *vca.Profile, upBps, downBps float64, se
 	return call, lab
 }
 
-// RunStatic executes the sweep and returns one result per capacity.
+// staticTrial is one repetition's raw measurements.
+type staticTrial struct {
+	median, up, down, freeze, fir float64
+	out, in                       codec.EncodeParams
+}
+
+// runTrial executes one (capacity, repetition) cell on a fresh engine. It
+// is pure: everything it touches is derived from cfg and its arguments.
+func (cfg *StaticConfig) runTrial(capMbps float64, rep int) staticTrial {
+	seed := cfg.Seed + int64(rep)*104729 + int64(capMbps*1000)
+	eng := sim.New(seed)
+	upBps, downBps := 0.0, 0.0
+	if capMbps > 0 {
+		if cfg.Dir == Uplink {
+			upBps = capMbps * 1e6
+		} else {
+			downBps = capMbps * 1e6
+		}
+	}
+	call, _ := twoPartyCall(eng, cfg.Profile, upBps, downBps, seed)
+	call.Start()
+	eng.RunUntil(cfg.Dur)
+	call.Stop()
+
+	c1 := call.C1()
+	var t staticTrial
+	upSeries := c1.UpMeter.RateMbps().Slice(cfg.Warmup, cfg.Dur)
+	downSeries := c1.DownMeter.RateMbps().Slice(cfg.Warmup, cfg.Dur)
+	if cfg.Dir == Uplink {
+		t.median = stats.Median(upSeries.Values)
+	} else {
+		t.median = stats.Median(downSeries.Values)
+	}
+	t.up = c1.UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur)
+	t.down = c1.DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur)
+	t.freeze = c1.Receiver("c2").FreezeRatio()
+	t.fir = float64(c1.FIRsForMyVideo)
+	t.out = c1.Recorder.MedianOut(cfg.Warmup, cfg.Dur)
+	t.in = c1.Recorder.MedianIn(cfg.Warmup, cfg.Dur)
+	return t
+}
+
+// RunStatic executes the sweep and returns one result per capacity. The
+// caps × reps trials run through the parallel sweep engine; aggregation
+// happens per capacity over the ordered trial results, so output does not
+// depend on cfg.Parallel.
 func RunStatic(cfg StaticConfig) []StaticResult {
 	cfg.defaults()
+	trials := runner.Map(pool(cfg.Parallel, "static "+cfg.Profile.Name+"/"+cfg.Dir.String()),
+		len(cfg.CapsMbps)*cfg.Reps, func(i int) staticTrial {
+			return cfg.runTrial(cfg.CapsMbps[i/cfg.Reps], i%cfg.Reps)
+		})
+
 	var out []StaticResult
-	for _, capMbps := range cfg.CapsMbps {
+	for ci, capMbps := range cfg.CapsMbps {
 		res := StaticResult{Profile: cfg.Profile.Name, Dir: cfg.Dir, CapacityMbps: capMbps}
 		var medians, ups, downs, freezes, firs []float64
 		var outP, inP []codec.EncodeParams
 		for rep := 0; rep < cfg.Reps; rep++ {
-			seed := cfg.Seed + int64(rep)*104729 + int64(capMbps*1000)
-			eng := sim.New(seed)
-			upBps, downBps := 0.0, 0.0
-			if capMbps > 0 {
-				if cfg.Dir == Uplink {
-					upBps = capMbps * 1e6
-				} else {
-					downBps = capMbps * 1e6
-				}
-			}
-			call, _ := twoPartyCall(eng, cfg.Profile, upBps, downBps, seed)
-			call.Start()
-			eng.RunUntil(cfg.Dur)
-			call.Stop()
-
-			c1 := call.C1()
-			upSeries := c1.UpMeter.RateMbps().Slice(cfg.Warmup, cfg.Dur)
-			downSeries := c1.DownMeter.RateMbps().Slice(cfg.Warmup, cfg.Dur)
-			if cfg.Dir == Uplink {
-				medians = append(medians, stats.Median(upSeries.Values))
-			} else {
-				medians = append(medians, stats.Median(downSeries.Values))
-			}
-			ups = append(ups, c1.UpMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
-			downs = append(downs, c1.DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur))
-			freezes = append(freezes, c1.Receiver("c2").FreezeRatio())
-			firs = append(firs, float64(c1.FIRsForMyVideo))
-			outP = append(outP, c1.Recorder.MedianOut(cfg.Warmup, cfg.Dur))
-			inP = append(inP, c1.Recorder.MedianIn(cfg.Warmup, cfg.Dur))
+			t := trials[ci*cfg.Reps+rep]
+			medians = append(medians, t.median)
+			ups = append(ups, t.up)
+			downs = append(downs, t.down)
+			freezes = append(freezes, t.freeze)
+			firs = append(firs, t.fir)
+			outP = append(outP, t.out)
+			inP = append(inP, t.in)
 		}
 		res.MedianMbps = stats.Summarize(medians)
 		res.MeanUp = stats.Summarize(ups)

@@ -3,6 +3,7 @@ package experiment
 import (
 	"time"
 
+	"vcalab/internal/runner"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/vca"
@@ -45,8 +46,26 @@ type TraceResult struct {
 	MeanUtilization float64
 }
 
-// RunTrace plays a bandwidth trace under a 2-party call.
+// RunTrace plays a bandwidth trace under a 2-party call. It is a single
+// trial; use RunTraces to replay one trace against several profiles in
+// parallel.
 func RunTrace(prof *vca.Profile, trace BandwidthTrace, dur time.Duration, seed int64) TraceResult {
+	return runTraceTrial(prof, trace, dur, seed)
+}
+
+// RunTraces replays a trace against each profile, one parallel trial per
+// profile (parallel: 0 = package default, 1 = sequential, like the
+// Parallel field on the config-driven runners). Per-profile seeds are
+// derived from (seed, profile index) so results are independent of worker
+// scheduling; the result slice follows input order.
+func RunTraces(profs []*vca.Profile, trace BandwidthTrace, dur time.Duration, seed int64, parallel int) []TraceResult {
+	return runner.Map(pool(parallel, "trace"), len(profs), func(i int) TraceResult {
+		return runTraceTrial(profs[i], trace, dur, runner.Seed(seed, i))
+	})
+}
+
+// runTraceTrial is the pure single-trial body.
+func runTraceTrial(prof *vca.Profile, trace BandwidthTrace, dur time.Duration, seed int64) TraceResult {
 	eng := sim.New(seed)
 	call, lab := twoPartyCall(eng, prof, 0, 0, seed)
 	trace.Apply(eng, lab)

@@ -1,0 +1,97 @@
+// Determinism proof for the parallel sweep engine: the experiment runners
+// executed through an 8-worker pool must produce results byte-identical to
+// a sequential (parallelism 1) run for equal seeds. This is the contract
+// that lets vcabench default to all cores without changing any paper
+// artifact. It lives in an external test package so it can drive the real
+// experiment harness on top of the runner under test.
+package runner_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"vcalab/internal/experiment"
+	"vcalab/internal/runner"
+	"vcalab/internal/vca"
+)
+
+func staticSweep(parallel int) []experiment.StaticResult {
+	return experiment.RunStatic(experiment.StaticConfig{
+		Profile:  vca.Meet(),
+		Dir:      experiment.Uplink,
+		CapsMbps: []float64{0.5, 1, 2},
+		Reps:     2,
+		Dur:      60 * time.Second,
+		Warmup:   20 * time.Second,
+		Seed:     1,
+		Parallel: parallel,
+	})
+}
+
+func TestStaticParallelMatchesSequential(t *testing.T) {
+	seq := staticSweep(1)
+	par := staticSweep(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("StaticResult slices differ between parallelism 1 and 8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func disruptionRun(parallel int) experiment.DisruptionResult {
+	return experiment.RunDisruption(experiment.DisruptionConfig{
+		Profile:   vca.Zoom(),
+		Dir:       experiment.Uplink,
+		LevelMbps: 0.5,
+		Reps:      4,
+		Seed:      3,
+		CallDur:   150 * time.Second,
+		Parallel:  parallel,
+	})
+}
+
+func TestDisruptionParallelMatchesSequential(t *testing.T) {
+	seq := disruptionRun(1)
+	par := disruptionRun(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("DisruptionResult differs between parallelism 1 and 8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestImpairmentParallelMatchesSequential(t *testing.T) {
+	run := func(parallel int) []experiment.ImpairmentResult {
+		return experiment.RunImpairment(experiment.ImpairmentConfig{
+			Profile:  vca.Teams(),
+			LossPcts: []float64{0, 2},
+			Jitter:   10 * time.Millisecond,
+			Reps:     2,
+			Dur:      50 * time.Second,
+			Warmup:   20 * time.Second,
+			Seed:     5,
+			Parallel: parallel,
+		})
+	}
+	if seq, par := run(1), run(8); !reflect.DeepEqual(seq, par) {
+		t.Errorf("ImpairmentResult differs between parallelism 1 and 8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestRunTracesMatchesRunTrace(t *testing.T) {
+	trace := experiment.BandwidthTrace{
+		{At: 0, UpBps: 2e6, DownBps: 2e6},
+		{At: 30 * time.Second, UpBps: 0.6e6, DownBps: 0.6e6},
+	}
+	profs := []*vca.Profile{vca.Meet(), vca.Zoom()}
+	batch := experiment.RunTraces(profs, trace, 60*time.Second, 9, 8)
+	if len(batch) != 2 {
+		t.Fatalf("got %d results, want 2", len(batch))
+	}
+	for i, p := range profs {
+		if batch[i].Profile != p.Name {
+			t.Errorf("result %d is %q, want input order (%q)", i, batch[i].Profile, p.Name)
+		}
+		solo := experiment.RunTrace(p, trace, 60*time.Second, runner.Seed(9, i))
+		if !reflect.DeepEqual(batch[i], solo) {
+			t.Errorf("RunTraces[%d] differs from the equivalent RunTrace", i)
+		}
+	}
+}

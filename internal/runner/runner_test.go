@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 8, 100} {
+		r := New(par)
+		out := Map(r, 50, func(i int) int { return i * i })
+		if len(out) != 50 {
+			t.Fatalf("par=%d: got %d results, want 50", par, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNil(t *testing.T) {
+	if out := Map(New(4), 0, func(i int) int { return i }); out != nil {
+		t.Errorf("n=0 returned %v, want nil", out)
+	}
+	out := Map[int](nil, 3, func(i int) int { return i + 1 })
+	if len(out) != 3 || out[2] != 3 {
+		t.Errorf("nil runner: %v", out)
+	}
+}
+
+func TestMapActuallyParallel(t *testing.T) {
+	// All 4 trials rendezvous at a barrier: this only completes if 4
+	// workers hold trials in flight simultaneously. A timeout (instead
+	// of a deadlock) marks the failure.
+	var arrived atomic.Int32
+	var timedOut atomic.Bool
+	all := make(chan struct{})
+	Map(New(4), 4, func(i int) int {
+		if arrived.Add(1) == 4 {
+			close(all)
+		}
+		select {
+		case <-all:
+		case <-time.After(10 * time.Second):
+			timedOut.Store(true)
+		}
+		return i
+	})
+	if timedOut.Load() {
+		t.Errorf("only %d of 4 trials were in flight together with 4 workers", arrived.Load())
+	}
+}
+
+func TestProgressCountsEveryTrial(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		var calls atomic.Int32
+		last := atomic.Int32{}
+		r := New(par)
+		r.OnProgress = func(done, total int) {
+			calls.Add(1)
+			if total != 20 {
+				t.Errorf("par=%d: total = %d, want 20", par, total)
+			}
+			last.Store(int32(done))
+		}
+		Map(r, 20, func(i int) int { return i })
+		if calls.Load() != 20 {
+			t.Errorf("par=%d: OnProgress called %d times, want 20", par, calls.Load())
+		}
+		if last.Load() != 20 {
+			t.Errorf("par=%d: final done = %d, want 20", par, last.Load())
+		}
+	}
+}
+
+func TestSeedDeterministicAndDecorrelated(t *testing.T) {
+	if Seed(42, 7) != Seed(42, 7) {
+		t.Error("Seed is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for trial := 0; trial < 1000; trial++ {
+		s := Seed(1, trial)
+		if seen[s] {
+			t.Fatalf("Seed collision at trial %d", trial)
+		}
+		seen[s] = true
+	}
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Error("Seed ignores base")
+	}
+}
+
+func TestWorkersClamping(t *testing.T) {
+	if got := New(8).workers(3); got != 3 {
+		t.Errorf("workers(3) with parallelism 8 = %d, want 3", got)
+	}
+	if got := New(-5).workers(1000); got < 1 {
+		t.Errorf("workers = %d, want >= 1", got)
+	}
+	if got := New(1).workers(1000); got != 1 {
+		t.Errorf("workers = %d, want 1", got)
+	}
+}

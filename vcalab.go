@@ -33,6 +33,7 @@ package vcalab
 import (
 	"vcalab/internal/experiment"
 	"vcalab/internal/netem"
+	"vcalab/internal/runner"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/vca"
@@ -132,6 +133,27 @@ const (
 	CompYouTube = experiment.CompYouTube
 )
 
+// Parallel sweep engine. Every Run* fans its independent trials across a
+// worker pool (one fresh single-threaded Engine per trial, per-trial
+// seeds, results in input order), so parallel output is byte-identical to
+// sequential. Per-sweep parallelism lives in each config's Parallel
+// field; the knobs below set the process-wide default and progress hook.
+type Runner = runner.Runner
+
+var (
+	// NewRunner builds a worker pool (parallelism <= 0 = GOMAXPROCS).
+	NewRunner = runner.New
+	// TrialSeed derives a decorrelated per-trial seed from (base, trial).
+	TrialSeed = runner.Seed
+	// SetDefaultParallelism sets the trial parallelism used when a
+	// config's Parallel field is 0 (n <= 0 restores GOMAXPROCS).
+	SetDefaultParallelism = experiment.SetDefaultParallelism
+	// DefaultParallelism reports the effective default.
+	DefaultParallelism = experiment.DefaultParallelism
+	// SetProgress installs a per-trial progress hook for all sweeps.
+	SetProgress = experiment.SetProgress
+)
+
 // Topology and experiment constructors/runners.
 var (
 	NewLab         = experiment.NewLab
@@ -141,6 +163,7 @@ var (
 	RunModality    = experiment.RunModality
 	RunImpairment  = experiment.RunImpairment
 	RunTrace       = experiment.RunTrace
+	RunTraces      = experiment.RunTraces
 	ModalitySweep  = experiment.ModalitySweep
 	Table2         = experiment.Table2
 
