@@ -458,3 +458,30 @@ func BenchmarkExtensionLossImpairment(b *testing.B) {
 		b.ReportMetric(rs[0].UpMbps.Mean, p.Name+"_up_at_2pct_loss")
 	}
 }
+
+// scaleBench runs the cascaded large-call sweep (one condition, reduced
+// duration) at a fixed trial parallelism, reporting simulated seconds per
+// wall second — the sweep engine's throughput on cascade workloads. The
+// CLI equivalent (`vcabench -bench -json`) writes BENCH_scale.json.
+func scaleBench(b *testing.B, parallel int) {
+	const trials, dur = 4, 20 * time.Second
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		vcalab.RunScale(vcalab.ScaleConfig{
+			Profile: vcalab.Teams(), Participants: []int{12}, Regions: 3,
+			InterMbps: []float64{20}, Reps: trials,
+			Dur: dur, Warmup: 8 * time.Second,
+			Seed: 1, Parallel: parallel,
+		})
+	}
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(b.N)*trials*dur.Seconds()/wall, "sim_s/wall_s")
+	}
+}
+
+// BenchmarkScaleCascadeSequential runs the cascade sweep one trial at a time.
+func BenchmarkScaleCascadeSequential(b *testing.B) { scaleBench(b, 1) }
+
+// BenchmarkScaleCascadeParallel fans the cascade trials across all cores.
+func BenchmarkScaleCascadeParallel(b *testing.B) { scaleBench(b, 0) }

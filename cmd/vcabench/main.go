@@ -1,13 +1,16 @@
-// Command vcabench regenerates the paper's tables and figures. Each
-// experiment id maps to one table or figure of MacMillan et al. (IMC 2021);
-// see EXPERIMENTS.md at the repo root for the full index.
+// Command vcabench regenerates the paper's tables and figures, plus the
+// extension experiments. Each experiment id maps to one table or figure of
+// MacMillan et al. (IMC 2021) or one extension workload; see EXPERIMENTS.md
+// at the repo root for the full index, or run with -list.
 //
 // Usage:
 //
+//	vcabench -list
 //	vcabench -experiment table2
 //	vcabench -experiment fig1a -reps 5
+//	vcabench -experiment scale -quick
 //	vcabench -experiment all -quick
-//	vcabench -experiment fig1a -parallel 8
+//	vcabench -bench -json
 //
 // Independent trials fan out across all cores by default (-parallel 0);
 // output is byte-identical to a sequential run (-parallel 1) because each
@@ -16,9 +19,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"vcalab"
@@ -30,12 +36,61 @@ var (
 	seed     = flag.Int64("seed", 1, "base simulation seed")
 	parallel = flag.Int("parallel", 0, "trials run concurrently (0 = all cores, 1 = sequential); results are identical either way")
 	progress = flag.Bool("progress", true, "report per-sweep trial progress on stderr")
+	list     = flag.Bool("list", false, "list experiment ids with descriptions and exit")
+	bench    = flag.Bool("bench", false, "benchmark the scale sweep at 1 and NumCPU workers, then exit")
+	jsonOut  = flag.Bool("json", false, "with -bench: write machine-readable results to BENCH_scale.json")
 )
+
+// experimentDef is one runnable artifact; the registry is the single
+// source of truth for -list, -experiment validation and `all`.
+type experimentDef struct {
+	name string
+	desc string
+	all  bool // included in -experiment all
+	fn   func()
+}
+
+func experiments() []experimentDef {
+	return []experimentDef{
+		{"table2", "Table 2: unconstrained up/down utilization per VCA", true, table2},
+		{"fig1a", "Fig 1a: median sent bitrate vs uplink capacity", true, fig1a},
+		{"fig1b", "Fig 1b: median received bitrate vs downlink capacity", true, fig1b},
+		{"fig1c", "Fig 1c: browser vs native clients (Teams/Zoom)", true, fig1c},
+		{"fig2", "Fig 2: encode FPS/QP/width vs capacity (Meet, Teams-Chrome)", true, fig2},
+		{"fig3", "Fig 3: freeze ratio (3a) and FIR counts (3b)", true, fig3},
+		{"fig4", "Fig 4: uplink disruption traces + time-to-recovery", true, fig4},
+		{"fig5", "Fig 5: downlink disruption TTR per VCA", true, fig5},
+		{"fig6", "Fig 6: far client's upstream during C1's downlink dip", true, fig6},
+		{"fig8", "Fig 8: pairwise VCA uplink shares at 0.5 Mbps", true, fig8},
+		{"fig9", "Fig 9: self-competition traces (Zoom unfair, Meet fair)", true, fig9},
+		{"fig10", "Fig 10: pairwise downlink shares (Teams cedes)", true, fig10},
+		{"fig11", "Fig 11: Teams vs Zoom at 1 Mbps", true, fig11},
+		{"fig12", "Fig 12: VCA vs TCP at 2 Mbps (Teams starved)", true, fig12},
+		{"fig13", "Fig 13: Zoom's probe bursts depressing TCP", true, fig13},
+		{"fig14", "Fig 14: Zoom vs Netflix / Teams vs YouTube", true, fig14},
+		{"fig15", "Fig 15: up/down utilization vs participants, both modes", true, fig15},
+		{"impairment", "§8 extension: random loss and jitter sweep", false, impairment},
+		{"scale", "Cascaded large calls: participants x regions x inter-region capacity", false, scale},
+	}
+}
 
 func main() {
 	exp := flag.String("experiment", "table2",
-		"experiment id: table2, fig1a, fig1b, fig1c, fig2, fig3, fig4, fig5, fig6, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, all")
+		"experiment id (see -list): table2, fig1a..fig15, impairment, scale, all")
 	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %s\n", "id", "description")
+		for _, d := range experiments() {
+			desc := d.desc
+			if !d.all {
+				desc += " (extension; not part of `all`)"
+			}
+			fmt.Printf("%-12s %s\n", d.name, desc)
+		}
+		fmt.Printf("%-12s %s\n", "all", "every paper figure/table above in sequence")
+		return
+	}
 
 	vcalab.SetDefaultParallelism(*parallel)
 	if *progress {
@@ -58,27 +113,29 @@ func main() {
 		})
 	}
 
-	runners := map[string]func(){
-		"table2": table2, "fig1a": fig1a, "fig1b": fig1b, "fig1c": fig1c,
-		"fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
-		"fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
-		"fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
-		"impairment": impairment,
+	if *bench {
+		benchScale()
+		return
 	}
+
 	if *exp == "all" {
-		for _, id := range []string{"table2", "fig1a", "fig1b", "fig1c", "fig2", "fig3",
-			"fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"} {
-			fmt.Printf("\n===== %s =====\n", id)
-			runners[id]()
+		for _, d := range experiments() {
+			if !d.all {
+				continue
+			}
+			fmt.Printf("\n===== %s =====\n", d.name)
+			d.fn()
 		}
 		return
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	for _, d := range experiments() {
+		if d.name == *exp {
+			d.fn()
+			return
+		}
 	}
-	run()
+	fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+	os.Exit(2)
 }
 
 func caps() []float64 {
@@ -245,5 +302,99 @@ func fig15() {
 	for _, p := range threeVCAs() {
 		vcalab.PrintModality(os.Stdout, vcalab.ModalitySweep(p, vcalab.Gallery, maxN, *reps, *seed))
 		vcalab.PrintModality(os.Stdout, vcalab.ModalitySweep(p, vcalab.Speaker, maxN, *reps, *seed))
+	}
+}
+
+// scaleConfig is the shared grid for -experiment scale and -bench.
+func scaleConfig(p *vcalab.Profile, par int) vcalab.ScaleConfig {
+	cfg := vcalab.ScaleConfig{
+		Profile:      p,
+		Participants: []int{12, 24, 48},
+		Regions:      3,
+		InterMbps:    []float64{5, 20},
+		Reps:         *reps,
+		Dur:          60 * time.Second,
+		Warmup:       20 * time.Second,
+		Seed:         *seed,
+		Parallel:     par,
+	}
+	if *quick {
+		cfg.Participants = []int{8, 16}
+		cfg.InterMbps = []float64{10}
+		cfg.Dur = 30 * time.Second
+		cfg.Warmup = 10 * time.Second
+	}
+	return cfg
+}
+
+// scale is the cascade extension: geo-distributed relay meshes carrying
+// large calls, swept over participants and inter-region capacity.
+func scale() {
+	for _, p := range threeVCAs() {
+		rs := vcalab.RunScale(scaleConfig(p, *parallel))
+		vcalab.PrintScale(os.Stdout, rs)
+	}
+}
+
+// benchScale times the scale sweep at 1 worker and NumCPU workers and
+// reports ns/trial and simulated-seconds per wall-second — the headline
+// throughput of the sweep engine on cascade workloads.
+func benchScale() {
+	type benchRun struct {
+		Workers                 int     `json:"workers"`
+		WallSeconds             float64 `json:"wall_seconds"`
+		NsPerTrial              float64 `json:"ns_per_trial"`
+		SimSecondsPerWallSecond float64 `json:"sim_seconds_per_wall_second"`
+	}
+	cfg := scaleConfig(vcalab.Teams(), 1)
+	if *quick {
+		cfg.Participants = []int{8}
+		cfg.Reps = 4
+		cfg.Dur = 20 * time.Second
+		cfg.Warmup = 8 * time.Second
+	}
+	trials := len(cfg.Participants) * len(cfg.InterMbps) * cfg.Reps
+	simSeconds := float64(trials) * cfg.Dur.Seconds()
+
+	var runs []benchRun
+	var outputs []string
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		cfg.Parallel = workers
+		start := time.Now()
+		rs := vcalab.RunScale(cfg)
+		wall := time.Since(start)
+		var buf strings.Builder
+		vcalab.PrintScale(&buf, rs)
+		outputs = append(outputs, buf.String())
+		runs = append(runs, benchRun{
+			Workers:                 workers,
+			WallSeconds:             wall.Seconds(),
+			NsPerTrial:              float64(wall.Nanoseconds()) / float64(trials),
+			SimSecondsPerWallSecond: simSeconds / wall.Seconds(),
+		})
+		fmt.Printf("scale bench: %2d worker(s)  %6.2fs wall  %8.0f ns/trial  %6.1f sim-s/wall-s\n",
+			workers, wall.Seconds(), runs[len(runs)-1].NsPerTrial, runs[len(runs)-1].SimSecondsPerWallSecond)
+	}
+	deterministic := len(outputs) == 2 && outputs[0] == outputs[1]
+	fmt.Printf("scale bench: parallel output identical to sequential: %v\n", deterministic)
+
+	if *jsonOut {
+		out := struct {
+			Experiment    string     `json:"experiment"`
+			Trials        int        `json:"trials"`
+			SimSeconds    float64    `json:"sim_seconds_total"`
+			Deterministic bool       `json:"deterministic"`
+			Runs          []benchRun `json:"runs"`
+		}{"scale", trials, simSeconds, deterministic, runs}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal bench results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_scale.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write BENCH_scale.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_scale.json")
 	}
 }

@@ -1,0 +1,201 @@
+// Package cascade composes multiple vca.Server instances into a
+// geo-distributed relay mesh, the way production VCAs serve large calls:
+// every region runs its own SFU, clients attach to their home region, and
+// the SFUs cascade media between regions so each origin's stream crosses
+// each inter-region link once regardless of the remote fan-out (ion-sfu's
+// relay peers, LiveKit's Room/Forwarder pipeline).
+//
+// The package owns the topology side: a Topology describes regions, the
+// inter-region latency/bandwidth matrix and the client→home-region
+// assignment; Build wires it into a multi-router netem lab; Mesh.NewCall
+// attaches the cascaded protocol machinery (vca.NewCascadedCall) on top.
+// The §4.2 server behaviours survive intact across the cascade — Meet and
+// Zoom terminate congestion control on every hop, Teams relays RTCP
+// end-to-end — which is what the scale experiment (experiment.RunScale)
+// measures under conditions the paper's two-laptop lab never reached.
+package cascade
+
+import (
+	"fmt"
+	"time"
+
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/vca"
+)
+
+// Default hop parameters, used when a Topology leaves them zero.
+const (
+	// DefaultAccessDelay is the client↔regional-router one-way delay.
+	DefaultAccessDelay = 2 * time.Millisecond
+	// DefaultSFUDelay is the SFU↔regional-router one-way delay.
+	DefaultSFUDelay = 2 * time.Millisecond
+	// DefaultInterDelay is the inter-region one-way delay (a continental
+	// WAN hop).
+	DefaultInterDelay = 40 * time.Millisecond
+)
+
+// Region is one SFU site and the clients homed on it.
+type Region struct {
+	Name string
+	// Clients are the client host names homed in this region.
+	Clients []string
+	// Access configures each client's hop to the regional router
+	// (per-client links, like per-home access shaping). A zero value
+	// means an unconstrained link with DefaultAccessDelay.
+	Access netem.LinkConfig
+	// SFUDelay is the SFU↔router one-way delay (0 = DefaultSFUDelay).
+	SFUDelay time.Duration
+}
+
+// Topology describes a cascaded relay mesh: regions plus the directed
+// inter-region link matrix.
+type Topology struct {
+	Regions []Region
+	// Inter overrides the link configuration for specific directed region
+	// pairs, keyed by [2]int{from, to} region indices.
+	Inter map[[2]int]netem.LinkConfig
+	// Default is the inter-region link used where Inter has no entry. A
+	// zero value means an unconstrained link with DefaultInterDelay.
+	Default netem.LinkConfig
+}
+
+// Assign spreads n clients ("c1".."cN") round-robin across regions —
+// the standard home-region assignment for the scale experiment. It
+// returns one name slice per region; client 1 (C1) lands in region 0.
+func Assign(n, regions int) [][]string {
+	out := make([][]string, regions)
+	for i := 0; i < n; i++ {
+		r := i % regions
+		out[r] = append(out[r], fmt.Sprintf("c%d", i+1))
+	}
+	return out
+}
+
+// Mesh is a built cascade topology: one router and SFU host per region,
+// client hosts attached to their home routers, and directed inter-region
+// links carrying all cross-region traffic (relayed media, per-hop or
+// end-to-end RTCP, FIRs).
+type Mesh struct {
+	Eng *sim.Engine
+
+	// SFUs holds one SFU host per region, index-aligned with the
+	// topology's Regions.
+	SFUs []*netem.Host
+	// Clients holds the client hosts per region.
+	Clients [][]*netem.Host
+	// Routers are the regional routers.
+	Routers []*netem.Router
+
+	topo  Topology
+	inter map[[2]int]*netem.Link
+	pairs [][2]int // deterministic iteration order over inter links
+}
+
+// Build wires the topology into a multi-router netem lab. SFU hosts are
+// named "sfu-<region>"; client host names come from the topology.
+func Build(eng *sim.Engine, topo Topology) *Mesh {
+	if len(topo.Regions) == 0 {
+		panic("cascade: topology needs at least one region")
+	}
+	m := &Mesh{Eng: eng, topo: topo, inter: map[[2]int]*netem.Link{}}
+	for _, r := range topo.Regions {
+		m.Routers = append(m.Routers, netem.NewRouter("rt-"+r.Name))
+	}
+	// Inter-region links first, so host routes can reference them.
+	for i := range topo.Regions {
+		for j := range topo.Regions {
+			if i == j {
+				continue
+			}
+			cfg := topo.Default
+			if c, ok := topo.Inter[[2]int{i, j}]; ok {
+				cfg = c
+			}
+			if cfg == (netem.LinkConfig{}) {
+				cfg.Delay = DefaultInterDelay
+			}
+			name := "inter/" + topo.Regions[i].Name + "-" + topo.Regions[j].Name
+			l := netem.NewLink(eng, name, cfg, m.Routers[j])
+			m.inter[[2]int{i, j}] = l
+			m.pairs = append(m.pairs, [2]int{i, j})
+		}
+	}
+	for ri, r := range topo.Regions {
+		sfuDelay := r.SFUDelay
+		if sfuDelay == 0 {
+			sfuDelay = DefaultSFUDelay
+		}
+		sfu := netem.NewHost(eng, "sfu-"+r.Name)
+		netem.Attach(eng, sfu, m.Routers[ri], netem.LinkConfig{Delay: sfuDelay})
+		m.SFUs = append(m.SFUs, sfu)
+		m.routeRemote(ri, sfu.Name)
+
+		access := r.Access
+		if access == (netem.LinkConfig{}) {
+			access.Delay = DefaultAccessDelay
+		}
+		var hosts []*netem.Host
+		for _, name := range r.Clients {
+			h := netem.NewHost(eng, name)
+			netem.Attach(eng, h, m.Routers[ri], access)
+			hosts = append(hosts, h)
+			m.routeRemote(ri, name)
+		}
+		m.Clients = append(m.Clients, hosts)
+	}
+	return m
+}
+
+// routeRemote teaches every other region's router to reach a host homed
+// in region ri over the direct inter-region link.
+func (m *Mesh) routeRemote(ri int, host string) {
+	for q := range m.topo.Regions {
+		if q == ri {
+			continue
+		}
+		m.Routers[q].Route(host, m.inter[[2]int{q, ri}])
+	}
+}
+
+// InterLink returns the directed link from region i to region j.
+func (m *Mesh) InterLink(i, j int) *netem.Link { return m.inter[[2]int{i, j}] }
+
+// InterLinks returns every directed inter-region link in a deterministic
+// order (ascending (from, to)).
+func (m *Mesh) InterLinks() []*netem.Link {
+	out := make([]*netem.Link, 0, len(m.pairs))
+	for _, p := range m.pairs {
+		out = append(out, m.inter[p])
+	}
+	return out
+}
+
+// SetInterRate re-shapes every inter-region link to bps (0 removes the
+// constraint), resizing queues to the default depth — the `tc` analogue
+// for the WAN mesh.
+func (m *Mesh) SetInterRate(bps float64) {
+	for _, p := range m.pairs {
+		l := m.inter[p]
+		l.SetRate(bps)
+		if bps > 0 {
+			l.SetQueueBytes(netem.DefaultQueueBytes(bps))
+		}
+	}
+}
+
+// Placements converts the built mesh into the per-region client/SFU host
+// groups vca.NewCascadedCall consumes.
+func (m *Mesh) Placements() []vca.CascadePlacement {
+	out := make([]vca.CascadePlacement, len(m.SFUs))
+	for i := range m.SFUs {
+		out[i] = vca.CascadePlacement{Server: m.SFUs[i], Clients: m.Clients[i]}
+	}
+	return out
+}
+
+// NewCall attaches a cascaded call to the mesh: clients homed per region,
+// one SFU per region, relay legs between all SFU pairs.
+func (m *Mesh) NewCall(prof *vca.Profile, opt vca.CallOptions) *vca.Call {
+	return vca.NewCascadedCall(m.Eng, prof, m.Placements(), opt)
+}

@@ -70,6 +70,30 @@ func PrintCompetition(w io.Writer, r CompetitionResult) {
 	}
 }
 
+// PrintScale writes one row per cascade-sweep cell: per-region received
+// bitrate, freeze ratio, relay-link utilization and end-to-end frame
+// latency percentiles.
+func PrintScale(w io.Writer, rs []ScaleResult) {
+	if len(rs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# %s cascaded scale — %d regions: down/region, freezes, relay util, e2e frame latency\n",
+		rs[0].Profile, rs[0].Regions)
+	// Each region's data cell is 12 visible chars ("%6.2f ±%1.1f ").
+	fmt.Fprintf(w, "%4s %7s %-*s %8s %13s %23s\n",
+		"n", "inter", 12*rs[0].Regions, "down(Mbps)/region", "freeze",
+		"util mean/max", "lat ms p50/p95/p99")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%4d %6.1fM ", r.N, r.InterMbps)
+		for _, d := range r.RegionDownMbps {
+			fmt.Fprintf(w, "%6.2f ±%1.1f ", d.Mean, d.CI90)
+		}
+		fmt.Fprintf(w, "%8.3f %6.2f /%5.2f %7.1f/%7.1f/%7.1f\n",
+			r.FreezeRatio.Mean, r.RelayUtilMean.Mean, r.RelayUtilMax.Mean,
+			r.LatP50Ms.Mean, r.LatP95Ms.Mean, r.LatP99Ms.Mean)
+	}
+}
+
 // PrintModality writes Fig 15-style rows.
 func PrintModality(w io.Writer, rs []ModalityResult) {
 	if len(rs) == 0 {

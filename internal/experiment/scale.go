@@ -1,0 +1,231 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"vcalab/internal/cascade"
+	"vcalab/internal/netem"
+	"vcalab/internal/runner"
+	"vcalab/internal/sim"
+	"vcalab/internal/stats"
+	"vcalab/internal/vca"
+)
+
+// ScaleConfig describes the large-call cascade sweep: participants spread
+// round-robin across regions, one SFU per region, a full relay mesh
+// between them, and the inter-region capacity as the swept constraint.
+// This is the workload the paper's two-laptop lab could not reach (§8):
+// dozens of participants exercising the §4.2 server behaviours across
+// geo-distributed relays.
+type ScaleConfig struct {
+	Profile *vca.Profile
+	// Participants are the call sizes to sweep (total across regions).
+	Participants []int
+	// Regions is the number of SFU sites (default 3).
+	Regions int
+	// InterMbps sweeps the capacity of every directed inter-region link.
+	InterMbps []float64
+	// InterDelay is the one-way inter-region delay (default 40 ms).
+	InterDelay time.Duration
+	Reps       int
+	Dur        time.Duration
+	Warmup     time.Duration
+	Seed       int64
+	// Parallel is the trial parallelism; 0 = package default, 1 =
+	// sequential. Output is identical for every value.
+	Parallel int
+}
+
+func (c *ScaleConfig) defaults() {
+	if len(c.Participants) == 0 {
+		c.Participants = []int{12, 24, 48}
+	}
+	if c.Regions == 0 {
+		c.Regions = 3
+	}
+	if len(c.InterMbps) == 0 {
+		c.InterMbps = []float64{20}
+	}
+	if c.InterDelay == 0 {
+		c.InterDelay = cascade.DefaultInterDelay
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	if c.Dur == 0 {
+		c.Dur = 60 * time.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 20 * time.Second
+	}
+}
+
+// ScaleResult is one (participants, inter-region capacity) cell of the
+// cascade sweep.
+type ScaleResult struct {
+	Profile   string
+	N         int
+	Regions   int
+	InterMbps float64
+
+	// RegionDownMbps is the per-region mean received bitrate per client.
+	RegionDownMbps []stats.Summary
+	// FreezeRatio is the mean freeze ratio across every (receiver,
+	// displayed origin) pair.
+	FreezeRatio stats.Summary
+	// RelayUtilMean / RelayUtilMax summarize delivered-byte utilization
+	// across the directed inter-region links (post-warmup).
+	RelayUtilMean, RelayUtilMax stats.Summary
+	// LatP50Ms/LatP95Ms/LatP99Ms are end-to-end frame latency percentiles
+	// (origin capture to receiver arrival, across all clients) in ms.
+	LatP50Ms, LatP95Ms, LatP99Ms stats.Summary
+}
+
+// scaleTrial is one repetition's raw measurements.
+type scaleTrial struct {
+	regionDown          []float64
+	freeze              float64
+	utilMean, utilMax   float64
+	p50Ms, p95Ms, p99Ms float64
+}
+
+// runTrial executes one (n, capacity, repetition) cell on a fresh engine.
+func (cfg *ScaleConfig) runTrial(n int, interMbps float64, rep int) scaleTrial {
+	seed := cfg.Seed + int64(rep)*86243 + int64(n)*613 + int64(interMbps*1000)
+	eng := sim.New(seed)
+
+	assign := cascade.Assign(n, cfg.Regions)
+	topo := cascade.Topology{
+		Default: netem.LinkConfig{RateBps: interMbps * 1e6, Delay: cfg.InterDelay},
+	}
+	for r := 0; r < cfg.Regions; r++ {
+		topo.Regions = append(topo.Regions, cascade.Region{
+			Name: fmt.Sprintf("r%d", r), Clients: assign[r],
+		})
+	}
+	mesh := cascade.Build(eng, topo)
+	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+
+	// Snapshot inter-link counters at warmup so utilization covers the
+	// steady state only.
+	links := mesh.InterLinks()
+	startBytes := make([]uint64, len(links))
+	eng.Schedule(cfg.Warmup, func() {
+		for i, l := range links {
+			startBytes[i] = l.DeliveredBytes
+		}
+	})
+
+	call.Start()
+	eng.RunUntil(cfg.Dur)
+	call.Stop()
+
+	var t scaleTrial
+	span := (cfg.Dur - cfg.Warmup).Seconds()
+	var utilSum float64
+	for i, l := range links {
+		util := 0.0
+		if l.Rate() > 0 && span > 0 {
+			util = float64(l.DeliveredBytes-startBytes[i]) * 8 / (l.Rate() * span)
+		}
+		utilSum += util
+		if util > t.utilMax {
+			t.utilMax = util
+		}
+	}
+	if len(links) > 0 {
+		t.utilMean = utilSum / float64(len(links))
+	}
+
+	var freezeSum float64
+	var freezeN int
+	var lats []float64
+	flat := 0 // call.Clients is flattened in mesh.Clients order
+	for _, hosts := range mesh.Clients {
+		var down float64
+		for range hosts {
+			cl := call.Clients[flat]
+			flat++
+			down += cl.DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur)
+			for _, origin := range cl.Origins() {
+				r := cl.Receiver(origin)
+				if r.DisplayedFrames() > 0 {
+					freezeSum += r.FreezeRatio()
+					freezeN++
+				}
+			}
+			for _, d := range cl.FrameLatencies(cfg.Warmup) {
+				lats = append(lats, d.Seconds()*1000)
+			}
+		}
+		if len(hosts) > 0 {
+			down /= float64(len(hosts))
+		}
+		t.regionDown = append(t.regionDown, down)
+	}
+	if freezeN > 0 {
+		t.freeze = freezeSum / float64(freezeN)
+	}
+	if len(lats) > 0 {
+		t.p50Ms = stats.Percentile(lats, 50)
+		t.p95Ms = stats.Percentile(lats, 95)
+		t.p99Ms = stats.Percentile(lats, 99)
+	}
+	return t
+}
+
+// RunScale executes the cascade sweep and returns one result per
+// (participants, inter-capacity) condition. Trials fan out through the
+// parallel sweep engine; aggregation happens over the ordered results, so
+// output does not depend on cfg.Parallel.
+func RunScale(cfg ScaleConfig) []ScaleResult {
+	cfg.defaults()
+	type cond struct {
+		n     int
+		inter float64
+	}
+	var conds []cond
+	for _, n := range cfg.Participants {
+		for _, c := range cfg.InterMbps {
+			conds = append(conds, cond{n, c})
+		}
+	}
+	trials := runner.Map(pool(cfg.Parallel, "scale "+cfg.Profile.Name),
+		len(conds)*cfg.Reps, func(i int) scaleTrial {
+			cd := conds[i/cfg.Reps]
+			return cfg.runTrial(cd.n, cd.inter, i%cfg.Reps)
+		})
+
+	var out []ScaleResult
+	for ci, cd := range conds {
+		res := ScaleResult{
+			Profile: cfg.Profile.Name, N: cd.n, Regions: cfg.Regions, InterMbps: cd.inter,
+		}
+		perRegion := make([][]float64, cfg.Regions)
+		var freezes, utilMeans, utilMaxes, p50s, p95s, p99s []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			t := trials[ci*cfg.Reps+rep]
+			for r, d := range t.regionDown {
+				perRegion[r] = append(perRegion[r], d)
+			}
+			freezes = append(freezes, t.freeze)
+			utilMeans = append(utilMeans, t.utilMean)
+			utilMaxes = append(utilMaxes, t.utilMax)
+			p50s = append(p50s, t.p50Ms)
+			p95s = append(p95s, t.p95Ms)
+			p99s = append(p99s, t.p99Ms)
+		}
+		for r := 0; r < cfg.Regions; r++ {
+			res.RegionDownMbps = append(res.RegionDownMbps, stats.Summarize(perRegion[r]))
+		}
+		res.FreezeRatio = stats.Summarize(freezes)
+		res.RelayUtilMean = stats.Summarize(utilMeans)
+		res.RelayUtilMax = stats.Summarize(utilMaxes)
+		res.LatP50Ms = stats.Summarize(p50s)
+		res.LatP95Ms = stats.Summarize(p95s)
+		res.LatP99Ms = stats.Summarize(p99s)
+		out = append(out, res)
+	}
+	return out
+}

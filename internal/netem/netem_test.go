@@ -240,6 +240,86 @@ func TestQuickLinkFIFO(t *testing.T) {
 	}
 }
 
+// multiRouterPath wires h1 → rtA → (inter) → rtB → h2 and returns the
+// inter-router link for mid-simulation reshaping.
+func multiRouterPath(eng *sim.Engine, interCfg LinkConfig, h1, h2 *Host) *Link {
+	rtA, rtB := NewRouter("rtA"), NewRouter("rtB")
+	ab, ba := ConnectRouters(eng, "inter", interCfg, interCfg, rtA, rtB)
+	Attach(eng, h1, rtA, LinkConfig{Delay: time.Millisecond})
+	Attach(eng, h2, rtB, LinkConfig{Delay: time.Millisecond})
+	rtA.Route(h2.Name, ab)
+	rtB.Route(h1.Name, ba)
+	return ab
+}
+
+func TestMultiRouterDelayAccumulatesPerHop(t *testing.T) {
+	eng := sim.New(1)
+	h1, h2 := NewHost(eng, "h1"), NewHost(eng, "h2")
+	multiRouterPath(eng, LinkConfig{RateBps: 1e6, Delay: 10 * time.Millisecond}, h1, h2)
+	var arrived time.Duration
+	h2.HandleFunc(80, func(p *Packet) { arrived = eng.Now() })
+	h1.Send(&Packet{Size: 1250, From: Addr{"h1", 1}, To: Addr{"h2", 80}})
+	eng.Run()
+	// 1 ms access + (10 ms serialization + 10 ms propagation) inter hop
+	// + 1 ms access: each of the three hops contributes its own delay.
+	if want := 22 * time.Millisecond; arrived != want {
+		t.Errorf("two-router path arrival at %v, want %v", arrived, want)
+	}
+}
+
+func TestMultiRouterQueueingAccumulatesPerHop(t *testing.T) {
+	// First hop 2 Mbps, second hop 1 Mbps: a back-to-back burst spreads
+	// at the first bottleneck, then queues again at the slower second
+	// hop — per-hop queueing, not a single end-to-end constraint.
+	eng := sim.New(2)
+	rtA, rtB := NewRouter("rtA"), NewRouter("rtB")
+	s := &sink{eng: eng}
+	hop2 := NewLink(eng, "hop2", LinkConfig{RateBps: 1e6, QueueBytes: 1 << 20}, s)
+	rtB.Route("dst", hop2)
+	hop1 := NewLink(eng, "hop1", LinkConfig{RateBps: 2e6, QueueBytes: 1 << 20}, rtB)
+	rtA.Route("dst", hop1)
+	for i := 0; i < 3; i++ {
+		rtA.Deliver(&Packet{Size: 1250, To: Addr{Host: "dst"}})
+	}
+	eng.Run()
+	if len(s.pkts) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(s.pkts))
+	}
+	// Hop 1 spaces the burst at 5 ms/packet; hop 2 re-serializes at
+	// 10 ms/packet: first done at 5+10=15 ms, then every 10 ms.
+	for i, want := range []time.Duration{15, 25, 35} {
+		if s.times[i] != want*time.Millisecond {
+			t.Errorf("packet %d delivered at %v, want %vms (queued at second hop)", i, s.times[i], want)
+		}
+	}
+}
+
+func TestInterRouterRateChangeMidSimulation(t *testing.T) {
+	// Reshaping an inter-region link mid-simulation (the cascade's `tc`
+	// analogue) must apply to queued and future packets.
+	eng := sim.New(3)
+	h1, h2 := NewHost(eng, "h1"), NewHost(eng, "h2")
+	inter := multiRouterPath(eng, LinkConfig{RateBps: 1e6, QueueBytes: 1 << 20}, h1, h2)
+	var times []time.Duration
+	h2.HandleFunc(80, func(p *Packet) { times = append(times, eng.Now()) })
+	h1.Send(&Packet{Size: 1250, From: Addr{"h1", 1}, To: Addr{"h2", 80}})
+	h1.Send(&Packet{Size: 1250, From: Addr{"h1", 1}, To: Addr{"h2", 80}})
+	// Halve the inter link while the first packet serializes.
+	eng.Schedule(6*time.Millisecond, func() { inter.SetRate(0.5e6) })
+	eng.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(times))
+	}
+	// Access hops add 1 ms each way. First packet: 1 + 10 (old rate) + 1.
+	// Second: finishes 20 ms later at the new 0.5 Mbps rate.
+	if want := 12 * time.Millisecond; times[0] != want {
+		t.Errorf("first delivery at %v, want %v", times[0], want)
+	}
+	if want := 32 * time.Millisecond; times[1] != want {
+		t.Errorf("second delivery at %v, want %v (new rate applied)", times[1], want)
+	}
+}
+
 func BenchmarkLinkThroughput(b *testing.B) {
 	eng := sim.New(1)
 	s := &sink{}

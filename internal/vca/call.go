@@ -26,45 +26,122 @@ type CallOptions struct {
 	Seed int64
 }
 
-// Call wires N clients and one SFU into a conference and manages its
-// lifecycle. Topology (hosts, links, shaping) is owned by the caller; the
-// Call only attaches protocol machinery to hosts.
+// CascadePlacement homes a group of clients on one SFU host — one region
+// of a cascaded call.
+type CascadePlacement struct {
+	Server  *netem.Host
+	Clients []*netem.Host
+}
+
+// Call wires N clients and one or more SFUs into a conference and manages
+// its lifecycle. Topology (hosts, links, shaping) is owned by the caller;
+// the Call only attaches protocol machinery to hosts.
 type Call struct {
 	Prof    *Profile
 	Clients []*Client
-	Server  *Server
+	// Server is the region-0 SFU — the only one in a single-SFU call.
+	Server *Server
+	// Servers holds every region's SFU (length 1 for NewCall).
+	Servers []*Server
 
-	eng *sim.Engine
+	eng     *sim.Engine
+	mode    ViewMode
+	home    map[string]int // client name -> region index
+	left    map[string]bool
+	started bool
 }
 
 // NewCall creates a call between the given client hosts through the server
 // host. Client 0 is "C1" in the paper's terms: the instrumented client
 // (and the pinned participant in Speaker mode).
 func NewCall(eng *sim.Engine, prof *Profile, server *netem.Host, clientHosts []*netem.Host, opt CallOptions) *Call {
-	if len(clientHosts) < 2 {
+	return NewCascadedCall(eng, prof, []CascadePlacement{{Server: server, Clients: clientHosts}}, opt)
+}
+
+// NewCascadedCall creates a call whose participants are spread across
+// regions, each homed on its region's SFU. The SFUs form a full relay
+// mesh: every locally homed origin's media crosses each inter-region link
+// once, and the remote SFU fans it out to its own receivers. Client 0 of
+// region 0 is C1. Congestion control on the relay hops follows the
+// profile: Meet/Zoom terminate per hop, Teams stays end-to-end.
+func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement, opt CallOptions) *Call {
+	total := 0
+	for _, r := range regions {
+		total += len(r.Clients)
+	}
+	if total < 2 {
 		panic("vca: a call needs at least two clients")
 	}
-	names := make([]string, len(clientHosts))
-	for i, h := range clientHosts {
-		names[i] = h.Name
+	c := &Call{
+		Prof: prof, eng: eng, mode: opt.Mode,
+		home: map[string]int{}, left: map[string]bool{},
 	}
-	c := &Call{Prof: prof, eng: eng}
-	c.Server = newServer(eng, prof, server, names)
-	for i, h := range clientHosts {
-		cl := newClient(eng, prof, h.Name, h, server.Name, opt.Seed+int64(i)*7919)
-		c.Clients = append(c.Clients, cl)
+	localNames := make([][]string, len(regions))
+	for ri, r := range regions {
+		names := make([]string, len(r.Clients))
+		for i, h := range r.Clients {
+			names[i] = h.Name
+			c.home[h.Name] = ri
+		}
+		localNames[ri] = names
+		c.Servers = append(c.Servers, newServer(eng, prof, r.Server, names, total))
+	}
+	c.Server = c.Servers[0]
+	// Wire the relay mesh: each server forwards its local origins to every
+	// peer, and registers every peer's origins as remote arrivals.
+	for i, si := range c.Servers {
+		for j, sj := range c.Servers {
+			if i == j {
+				continue
+			}
+			si.addRelayLeg(sj.Name, localNames[i])
+			sj.addRemoteOrigins(si.Name, localNames[i])
+		}
+	}
+	i := 0
+	for ri, r := range regions {
+		for _, h := range r.Clients {
+			cl := newClient(eng, prof, h.Name, h, regions[ri].Server.Name, opt.Seed+int64(i)*7919)
+			c.Clients = append(c.Clients, cl)
+			i++
+		}
 	}
 	c.applyLayout(opt.Mode)
 	return c
 }
 
-// applyLayout computes displayed sets and per-sender budgets (§6).
+// active returns the clients currently in the call, in join order.
+func (c *Call) active() []*Client {
+	if len(c.left) == 0 {
+		return c.Clients
+	}
+	out := make([]*Client, 0, len(c.Clients))
+	for _, cl := range c.Clients {
+		if !c.left[cl.Name] {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+func (c *Call) clientByName(name string) *Client {
+	for _, cl := range c.Clients {
+		if cl.Name == name {
+			return cl
+		}
+	}
+	return nil
+}
+
+// applyLayout computes displayed sets and per-sender budgets (§6), plus
+// the relay subscriptions between regions.
 func (c *Call) applyLayout(mode ViewMode) {
-	n := len(c.Clients)
-	for i, cl := range c.Clients {
+	active := c.active()
+	n := len(active)
+	for i, cl := range active {
 		var displayed []string
 		tiles := c.Prof.VisibleTiles(n)
-		for j, other := range c.Clients {
+		for j, other := range active {
 			if j == i {
 				continue
 			}
@@ -77,10 +154,45 @@ func (c *Call) applyLayout(mode ViewMode) {
 				displayed = append(displayed, other.Name)
 			}
 		}
-		c.Server.SetDisplayed(cl.Name, displayed)
+		c.Servers[c.home[cl.Name]].SetDisplayed(cl.Name, displayed)
 	}
-	for i, cl := range c.Clients {
+	for i, cl := range active {
 		cl.SetTierBps(c.senderBudget(mode, n, i == 0))
+	}
+	c.applyRelayLayout(active)
+}
+
+// applyRelayLayout subscribes each region pair: the origins homed in i
+// that at least one receiver homed in j displays travel the i→j relay
+// leg. Audio always flows; this set gates video only.
+func (c *Call) applyRelayLayout(active []*Client) {
+	if len(c.Servers) < 2 {
+		return
+	}
+	for i, si := range c.Servers {
+		for j, sj := range c.Servers {
+			if i == j {
+				continue
+			}
+			want := map[string]bool{}
+			for _, cl := range active {
+				if c.home[cl.Name] != j {
+					continue
+				}
+				for _, o := range sj.Displayed(cl.Name) {
+					if c.home[o] == i {
+						want[o] = true
+					}
+				}
+			}
+			var origins []string
+			for _, cl := range c.Clients {
+				if want[cl.Name] {
+					origins = append(origins, cl.Name)
+				}
+			}
+			si.SetDisplayed(sj.Name, origins)
+		}
 	}
 }
 
@@ -111,26 +223,93 @@ func (c *Call) senderBudget(mode ViewMode, n int, pinnedClient bool) float64 {
 	return tierRate
 }
 
-// Start begins the call: all clients and the server go live.
+// Start begins the call: all servers and clients go live.
 func (c *Call) Start() {
-	c.Server.start()
-	for _, cl := range c.Clients {
+	c.started = true
+	for _, s := range c.Servers {
+		s.start()
+	}
+	for _, cl := range c.active() {
 		cl.start(cl.TierBps())
 	}
 }
 
 // Stop tears the call down.
 func (c *Call) Stop() {
-	for _, cl := range c.Clients {
+	c.started = false
+	for _, cl := range c.active() {
 		cl.stop()
 	}
-	c.Server.stop()
+	for _, s := range c.Servers {
+		s.stop()
+	}
+}
+
+// Leave removes the named client from the call mid-flight. Every server
+// drops its per-client state (uplink receiver, rate estimators, legs,
+// forwarding entries), the layout re-flows for the remaining
+// participants, and the host stays wired for a later Rejoin.
+func (c *Call) Leave(name string) {
+	cl := c.clientByName(name)
+	if cl == nil || c.left[name] {
+		return
+	}
+	c.left[name] = true
+	if c.started {
+		cl.stop()
+	}
+	n := len(c.active())
+	for i, s := range c.Servers {
+		if i == c.home[name] {
+			s.removeClient(name)
+		} else {
+			s.removeRemoteOrigin(name)
+		}
+		s.setTotal(n)
+	}
+	c.applyLayout(c.mode)
+}
+
+// Rejoin re-attaches a client that previously left. Server state is
+// recreated from scratch (fresh receivers, rate estimators and forwarding
+// legs), the layout re-flows, and the client restarts its media if the
+// call is live.
+func (c *Call) Rejoin(name string) {
+	cl := c.clientByName(name)
+	if cl == nil || !c.left[name] {
+		return
+	}
+	delete(c.left, name)
+	n := len(c.active())
+	for i, s := range c.Servers {
+		if i == c.home[name] {
+			s.addClient(name)
+		} else {
+			s.addRemoteOrigin(c.Servers[c.home[name]].Name, name)
+		}
+		s.setTotal(n)
+	}
+	c.applyLayout(c.mode)
+	if c.started {
+		cl.start(cl.TierBps())
+	}
+}
+
+// Active reports whether the named client is currently in the call.
+func (c *Call) Active(name string) bool {
+	return c.clientByName(name) != nil && !c.left[name]
 }
 
 // C1 returns the instrumented client (client 0).
 func (c *Call) C1() *Client { return c.Clients[0] }
 
+// HomeServer returns the SFU the named client is homed on.
+func (c *Call) HomeServer(name string) *Server { return c.Servers[c.home[name]] }
+
 // String identifies the call.
 func (c *Call) String() string {
+	if len(c.Servers) > 1 {
+		return fmt.Sprintf("%s call, %d clients, %d regions", c.Prof.Name, len(c.Clients), len(c.Servers))
+	}
 	return fmt.Sprintf("%s call, %d clients", c.Prof.Name, len(c.Clients))
 }

@@ -1,0 +1,247 @@
+package vca
+
+import (
+	"testing"
+	"time"
+
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+)
+
+// fiveParty builds a 5-party single-SFU call on an unconstrained lab.
+func fiveParty(eng *sim.Engine, prof *Profile) *Call {
+	l := newLab(eng, 0, 0)
+	hosts := []*netem.Host{l.clientHost("c1")}
+	for i := 2; i <= 5; i++ {
+		hosts = append(hosts, l.remoteHost(hostName(i), 5*time.Millisecond))
+	}
+	sfu := l.remoteHost("sfu", 15*time.Millisecond)
+	return NewCall(eng, prof, sfu, hosts, CallOptions{Seed: 21})
+}
+
+// serverState counts every per-client entry the SFU holds for a name.
+func serverState(s *Server, name string) int {
+	n := 0
+	if _, ok := s.upRecv[name]; ok {
+		n++
+	}
+	if _, ok := s.rates[name]; ok {
+		n++
+	}
+	if _, ok := s.legs[name]; ok {
+		n++
+	}
+	if _, ok := s.displayed[name]; ok {
+		n++
+	}
+	if _, ok := s.remote[name]; ok {
+		n++
+	}
+	for _, l := range s.legs {
+		if _, ok := l.fwd[name]; ok {
+			n++
+		}
+	}
+	for _, c := range s.clients {
+		if c == name {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLeaveCleansServerState(t *testing.T) {
+	eng := sim.New(22)
+	call := fiveParty(eng, Zoom())
+	call.Start()
+	eng.RunUntil(10 * time.Second)
+
+	s := call.Server
+	if serverState(s, "c3") == 0 {
+		t.Fatal("no server state for c3 before leave")
+	}
+	call.Leave("c3")
+	// The leak this guards against: rateEst and upRecv entries surviving
+	// for the whole call after a participant leaves.
+	if n := serverState(s, "c3"); n != 0 {
+		t.Errorf("server retains %d state entries for departed c3", n)
+	}
+	if len(s.clients) != 4 || len(s.legs) != 4 || len(s.rates) != 4 || len(s.upRecv) != 4 {
+		t.Errorf("server sizes after leave: clients=%d legs=%d rates=%d upRecv=%d, want 4 each",
+			len(s.clients), len(s.legs), len(s.rates), len(s.upRecv))
+	}
+
+	// The call keeps flowing for the remaining participants…
+	before := call.C1().DownMeter.TotalBytes()
+	eng.RunUntil(20 * time.Second)
+	if call.C1().DownMeter.TotalBytes() <= before {
+		t.Error("c1 stopped receiving after c3 left")
+	}
+	// …and the departed client goes silent.
+	c3 := call.Clients[2]
+	sent := c3.UpMeter.TotalBytes()
+	eng.RunUntil(22 * time.Second)
+	if c3.UpMeter.TotalBytes() != sent {
+		t.Error("c3 kept sending after leaving")
+	}
+	call.Stop()
+}
+
+func TestRejoinRestoresMedia(t *testing.T) {
+	eng := sim.New(23)
+	call := fiveParty(eng, Meet())
+	call.Start()
+	eng.RunUntil(8 * time.Second)
+	call.Leave("c4")
+	eng.RunUntil(16 * time.Second)
+	if call.Active("c4") {
+		t.Fatal("c4 still active after leave")
+	}
+	call.Rejoin("c4")
+	if !call.Active("c4") {
+		t.Fatal("c4 not active after rejoin")
+	}
+	if n := serverState(call.Server, "c4"); n == 0 {
+		t.Error("no server state recreated for rejoined c4")
+	}
+	c4 := call.Clients[3]
+	sentAt := c4.UpMeter.TotalBytes()
+	recvAt := c4.DownMeter.TotalBytes()
+	eng.RunUntil(30 * time.Second)
+	call.Stop()
+	if c4.UpMeter.TotalBytes() <= sentAt {
+		t.Error("rejoined c4 sends no media")
+	}
+	if c4.DownMeter.TotalBytes() <= recvAt {
+		t.Error("rejoined c4 receives no media")
+	}
+	// Leave/rejoin cycles must not grow server state (the churn leak).
+	if len(call.Server.rates) != 5 || len(call.Server.upRecv) != 5 {
+		t.Errorf("server map sizes after rejoin: rates=%d upRecv=%d, want 5",
+			len(call.Server.rates), len(call.Server.upRecv))
+	}
+}
+
+func TestLeaveIdempotentAndUnknown(t *testing.T) {
+	eng := sim.New(24)
+	call := fiveParty(eng, Teams())
+	call.Start()
+	eng.RunUntil(2 * time.Second)
+	call.Leave("c9") // unknown: no-op
+	call.Leave("c2")
+	call.Leave("c2")  // double leave: no-op
+	call.Rejoin("c3") // never left: no-op
+	eng.RunUntil(4 * time.Second)
+	call.Stop()
+	if len(call.Server.clients) != 4 {
+		t.Errorf("clients = %d after churn no-ops, want 4", len(call.Server.clients))
+	}
+}
+
+// miniCascade wires a 2-region cascaded Teams/Meet/Zoom call by hand (the
+// cascade package owns the nicer builder; vca tests stay self-contained).
+func miniCascade(eng *sim.Engine, prof *Profile, seed int64) (*Call, *netem.Link) {
+	rtA, rtB := netem.NewRouter("rtA"), netem.NewRouter("rtB")
+	ab, ba := netem.ConnectRouters(eng, "inter",
+		netem.LinkConfig{RateBps: 20e6, Delay: 30 * time.Millisecond},
+		netem.LinkConfig{RateBps: 20e6, Delay: 30 * time.Millisecond}, rtA, rtB)
+	mk := func(name string, rt *netem.Router, far *netem.Router, farLink *netem.Link) *netem.Host {
+		h := netem.NewHost(eng, name)
+		netem.Attach(eng, h, rt, netem.LinkConfig{Delay: 2 * time.Millisecond})
+		far.Route(name, farLink)
+		return h
+	}
+	sfuA := mk("sfu-a", rtA, rtB, ba)
+	c1 := mk("c1", rtA, rtB, ba)
+	c3 := mk("c3", rtA, rtB, ba)
+	sfuB := mk("sfu-b", rtB, rtA, ab)
+	c2 := mk("c2", rtB, rtA, ab)
+	c4 := mk("c4", rtB, rtA, ab)
+	call := NewCascadedCall(eng, prof, []CascadePlacement{
+		{Server: sfuA, Clients: []*netem.Host{c1, c3}},
+		{Server: sfuB, Clients: []*netem.Host{c2, c4}},
+	}, CallOptions{Seed: seed})
+	return call, ab
+}
+
+func TestCascadeChurnCleansRemoteState(t *testing.T) {
+	eng := sim.New(25)
+	call, _ := miniCascade(eng, Zoom(), 25)
+	call.Start()
+	eng.RunUntil(8 * time.Second)
+
+	sA, sB := call.Servers[0], call.Servers[1]
+	if serverState(sB, "c1") == 0 {
+		t.Fatal("no remote state for c1 on region-B server before leave")
+	}
+	call.Leave("c1")
+	if n := serverState(sA, "c1"); n != 0 {
+		t.Errorf("home server retains %d entries for departed c1", n)
+	}
+	if n := serverState(sB, "c1"); n != 0 {
+		t.Errorf("remote server retains %d entries for departed c1 (cascade churn leak)", n)
+	}
+	before := call.Clients[1].DownMeter.TotalBytes() // c2
+	eng.RunUntil(16 * time.Second)
+	if call.Clients[1].DownMeter.TotalBytes() <= before {
+		t.Error("cascade stopped flowing after remote leave")
+	}
+
+	call.Rejoin("c1")
+	eng.RunUntil(28 * time.Second)
+	call.Stop()
+	if serverState(sB, "c1") == 0 {
+		t.Error("remote state for c1 not recreated on rejoin")
+	}
+	c1 := call.C1()
+	if c1.UpMeter.MeanRateMbps(20*time.Second, 28*time.Second) <= 0 {
+		t.Error("rejoined c1 sends nothing")
+	}
+	if call.Clients[1].Receiver("c1").DisplayedFrames() == 0 {
+		t.Error("remote receiver never displayed rejoined c1")
+	}
+}
+
+func TestCascadeTwoPartyTeamsStaysEndToEnd(t *testing.T) {
+	// A 1+1 cascaded Teams call is a pure relay chain: both hops
+	// pass-through, original sequence numbers survive to the receiver.
+	eng := sim.New(26)
+	rtA, rtB := netem.NewRouter("rtA"), netem.NewRouter("rtB")
+	ab, ba := netem.ConnectRouters(eng, "inter",
+		netem.LinkConfig{RateBps: 10e6, Delay: 25 * time.Millisecond},
+		netem.LinkConfig{RateBps: 10e6, Delay: 25 * time.Millisecond}, rtA, rtB)
+	mk := func(name string, rt *netem.Router, far *netem.Router, farLink *netem.Link) *netem.Host {
+		h := netem.NewHost(eng, name)
+		netem.Attach(eng, h, rt, netem.LinkConfig{Delay: 2 * time.Millisecond})
+		far.Route(name, farLink)
+		return h
+	}
+	sfuA := mk("sfu-a", rtA, rtB, ba)
+	c1 := mk("c1", rtA, rtB, ba)
+	sfuB := mk("sfu-b", rtB, rtA, ab)
+	c2 := mk("c2", rtB, rtA, ab)
+	call := NewCascadedCall(eng, Teams(), []CascadePlacement{
+		{Server: sfuA, Clients: []*netem.Host{c1}},
+		{Server: sfuB, Clients: []*netem.Host{c2}},
+	}, CallOptions{Seed: 26})
+
+	var e2e, total int
+	c2.Tap(func(p *netem.Packet) {
+		if mp, ok := p.Payload.(*MediaPacket); ok && !mp.Padding && mp.Origin == "c1" {
+			total++
+			if mp.E2E {
+				e2e++
+			}
+		}
+	})
+	call.Start()
+	eng.RunUntil(15 * time.Second)
+	call.Stop()
+	if total == 0 || e2e != total {
+		t.Errorf("two-hop teams relay: %d/%d packets end-to-end, want all", e2e, total)
+	}
+	up := call.C1().UpMeter.MeanRateMbps(8*time.Second, 15*time.Second)
+	if up < 0.8 {
+		t.Errorf("cascaded 2-party teams uplink = %.2f Mbps, want near nominal", up)
+	}
+}

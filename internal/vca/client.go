@@ -49,6 +49,12 @@ type Client struct {
 	// FIRsForMyVideo counts FIR messages received for this client's
 	// outbound video (the paper's Fig 3b metric).
 	FIRsForMyVideo int
+	// latT/latV sample end-to-end frame latency: for every video
+	// frame-end packet, the virtual arrival time and the delay since the
+	// origin client stamped it. OriginSentAt survives SFU forwarding (and
+	// cascading), so the sample spans the whole origin→receiver path.
+	latT []time.Duration
+	latV []time.Duration
 
 	tickers []*sim.Ticker
 	running bool
@@ -300,6 +306,10 @@ func (c *Client) onMedia(pkt *netem.Packet) {
 		return
 	}
 	c.DownMeter.AddBytes(c.eng.Now(), pkt.Size)
+	if !mp.Padding && !mp.Audio && mp.FrameEnd {
+		c.latT = append(c.latT, c.eng.Now())
+		c.latV = append(c.latV, c.eng.Now()-mp.OriginSentAt)
+	}
 	sentAt := pkt.SentAt
 	if mp.E2E {
 		// Pass-through relay (Teams): the delay signal spans the whole
@@ -448,3 +458,24 @@ func maxf(a, b float64) float64 {
 
 // Host exposes the client's network host (for instrumentation).
 func (c *Client) Host() *netem.Host { return c.host }
+
+// Origins returns the sorted names of every remote participant this
+// client has received media from. The home SFU is excluded: its probe
+// padding creates a rate-only receiver, not a participant.
+func (c *Client) Origins() []string {
+	names := make([]string, 0, len(c.recv))
+	for name := range c.recv {
+		if name != c.server {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FrameLatencies returns the end-to-end frame latencies sampled at or
+// after from (origin capture to receiver arrival, across every hop).
+func (c *Client) FrameLatencies(from time.Duration) []time.Duration {
+	i := sort.Search(len(c.latT), func(i int) bool { return c.latT[i] >= from })
+	return c.latV[i:]
+}

@@ -20,6 +20,14 @@ import (
 //   - Teams: a pure relay — every displayed stream is forwarded and the
 //     receiver's RTCP is relayed to the senders, making congestion control
 //     end-to-end (and slow, Fig 5b/Fig 6).
+//
+// In a cascaded call (NewCascadedCall) a Server additionally holds relay
+// legs toward peer SFUs: each local origin's media is forwarded once per
+// peer over the inter-region link, and the peer re-forwards it to its own
+// local receivers. A relay leg is driven by exactly the same leg/fwdState
+// machinery as a receiver leg; for Meet/Zoom it terminates congestion
+// control per hop (the downstream SFU reports back like a receiver would),
+// while for Teams it is a pure pass-through and RTCP stays end-to-end.
 type Server struct {
 	Name string
 
@@ -29,7 +37,7 @@ type Server struct {
 
 	clients   []string
 	displayed map[string][]string // receiver -> origins it displays
-	n         int
+	n         int                 // total participants across all regions
 	// passthrough marks a pure relay that forwards packets untouched
 	// (Teams in a 2-party call, §4.2): original sequence numbers and
 	// origin timestamps survive, so uplink loss and queueing remain
@@ -38,16 +46,32 @@ type Server struct {
 
 	upRecv map[string]*media.Receiver // per-origin uplink stats
 	legs   map[string]*leg            // per-receiver forwarding state
-	rates  map[string]map[string]*rateEst
+	// legOrder fixes the iteration order over legs (local clients first,
+	// then relay peers) so ticks emit packets deterministically even when
+	// several legs share one shaped link (the cascade's inter-region hop).
+	legOrder []string
+	rates    map[string]map[string]*rateEst
+
+	// --- cascade state (all empty in a single-SFU call) ---
+	relayPeers []string // downstream peer SFUs this server relays to
+	peers      []string // upstream peer SFUs this server receives from
+	peerSet    map[string]bool
+	remote     map[string]string // remote origin -> upstream peer SFU
+	// relayRecv accounts arrivals per upstream peer so the per-hop
+	// feedback loop (Meet/Zoom) can report loss/delay on the relay link.
+	relayRecv map[string]*media.Receiver
 
 	tickers []*sim.Ticker
 	running bool
 }
 
-// leg is the server's state toward one receiver.
+// leg is the server's state toward one receiver — a local client, or a peer
+// SFU when relay is set.
 type leg struct {
 	receiver string
+	relay    bool
 	ctrl     cc.Controller // nil for Teams (pure relay)
+	seq      uint16        // relay legs: one sequence space across origins
 	fwd      map[string]*fwdState
 	padOwed  float64
 	lastPad  time.Duration
@@ -68,13 +92,19 @@ type fwdState struct {
 	fecOwed    float64
 }
 
+func newFwdState() *fwdState {
+	return &fwdState{curInFrame: -1, selStream: "sim/high", maxLayer: 1 << 10, thinFactor: 1}
+}
+
 type rateEst struct {
 	bytes int
 	rate  float64 // bps, EWMA
 }
 
-// newServer builds the SFU on the given host.
-func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []string) *Server {
+// newServer builds the SFU on the given host. clients are the locally homed
+// participants; total is the call-wide participant count (equal to
+// len(clients) in a single-SFU call).
+func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []string, total int) *Server {
 	s := &Server{
 		Name:      host.Name,
 		eng:       eng,
@@ -82,12 +112,15 @@ func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []strin
 		host:      host,
 		clients:   clients,
 		displayed: map[string][]string{},
-		n:         len(clients),
+		n:         total,
 		upRecv:    map[string]*media.Receiver{},
 		legs:      map[string]*leg{},
 		rates:     map[string]map[string]*rateEst{},
+		peerSet:   map[string]bool{},
+		remote:    map[string]string{},
+		relayRecv: map[string]*media.Receiver{},
 	}
-	s.passthrough = prof.NewServerCC == nil && len(clients) == 2
+	s.passthrough = prof.NewServerCC == nil && total == 2
 	for _, c := range clients {
 		s.upRecv[c] = media.NewReceiver()
 		s.rates[c] = map[string]*rateEst{}
@@ -98,23 +131,158 @@ func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []strin
 		s.legs[c] = l
 		for _, o := range clients {
 			if o != c {
-				l.fwd[o] = &fwdState{curInFrame: -1, selStream: "sim/high", maxLayer: 1 << 10, thinFactor: 1}
+				l.fwd[o] = newFwdState()
 			}
 		}
 	}
+	s.rebuildLegOrder()
 	host.HandleFunc(PortMedia, s.onMedia)
 	host.HandleFunc(PortFeedback, s.onFeedback)
 	host.HandleFunc(PortSignal, s.onSignal)
 	return s
 }
 
+func (s *Server) rebuildLegOrder() {
+	s.legOrder = s.legOrder[:0]
+	s.legOrder = append(s.legOrder, s.clients...)
+	s.legOrder = append(s.legOrder, s.relayPeers...)
+}
+
+// addRelayLeg creates the forwarding leg toward a peer SFU, carrying the
+// given locally homed origins. For Meet/Zoom the leg gets its own
+// congestion controller (per-hop termination); for Teams it stays a pure
+// pass-through.
+func (s *Server) addRelayLeg(peer string, origins []string) {
+	l := &leg{receiver: peer, relay: true, fwd: map[string]*fwdState{}}
+	if s.prof.NewServerCC != nil {
+		l.ctrl = s.prof.NewServerCC()
+	}
+	for _, o := range origins {
+		l.fwd[o] = newFwdState()
+	}
+	s.legs[peer] = l
+	s.relayPeers = append(s.relayPeers, peer)
+	s.rebuildLegOrder()
+}
+
+// addRemoteOrigins registers origins homed on an upstream peer SFU: their
+// media arrives over the relay link and is re-forwarded to local receivers
+// only (never to other peers — in a full mesh each origin's media crosses
+// each inter-region link exactly once).
+func (s *Server) addRemoteOrigins(peer string, origins []string) {
+	if !s.peerSet[peer] {
+		s.peerSet[peer] = true
+		s.peers = append(s.peers, peer)
+		if s.prof.NewServerCC != nil {
+			s.relayRecv[peer] = media.NewReceiver()
+		}
+	}
+	for _, o := range origins {
+		s.addRemoteOrigin(peer, o)
+	}
+}
+
+// addRemoteOrigin registers one remote origin (rejoin path).
+func (s *Server) addRemoteOrigin(peer, origin string) {
+	if !s.peerSet[peer] {
+		s.addRemoteOrigins(peer, nil)
+	}
+	s.remote[origin] = peer
+	if _, ok := s.rates[origin]; !ok {
+		s.rates[origin] = map[string]*rateEst{}
+	}
+	for _, c := range s.clients {
+		if _, ok := s.legs[c].fwd[origin]; !ok {
+			s.legs[c].fwd[origin] = newFwdState()
+		}
+	}
+}
+
+// removeRemoteOrigin drops all per-origin state for a remote origin that
+// left the call, so cascade churn does not leak rate estimators or
+// forwarding state.
+func (s *Server) removeRemoteOrigin(origin string) {
+	delete(s.remote, origin)
+	delete(s.rates, origin)
+	for _, l := range s.legs {
+		delete(l.fwd, origin)
+	}
+}
+
+// removeClient drops all per-client state when a local participant leaves
+// mid-call: its uplink receiver, rate estimators, receiver leg, and every
+// other leg's forwarding state toward or from it.
+func (s *Server) removeClient(name string) {
+	for i, c := range s.clients {
+		if c == name {
+			s.clients = append(s.clients[:i], s.clients[i+1:]...)
+			break
+		}
+	}
+	delete(s.upRecv, name)
+	delete(s.rates, name)
+	delete(s.legs, name)
+	delete(s.displayed, name)
+	for _, l := range s.legs {
+		delete(l.fwd, name)
+	}
+	s.rebuildLegOrder()
+}
+
+// addClient re-attaches a local participant (rejoin path): fresh uplink
+// receiver, rate map and receiver leg, plus forwarding state in every
+// existing leg (local receivers and relay peers alike).
+func (s *Server) addClient(name string) {
+	s.clients = append(s.clients, name)
+	s.upRecv[name] = media.NewReceiver()
+	s.rates[name] = map[string]*rateEst{}
+	l := &leg{receiver: name, fwd: map[string]*fwdState{}}
+	if s.prof.NewServerCC != nil {
+		l.ctrl = s.prof.NewServerCC()
+	}
+	for _, o := range s.clients {
+		if o != name {
+			l.fwd[o] = newFwdState()
+		}
+	}
+	for o := range s.remote {
+		l.fwd[o] = newFwdState()
+	}
+	s.legs[name] = l
+	for _, other := range s.legOrder {
+		if other == name {
+			continue
+		}
+		if ol := s.legs[other]; ol != nil {
+			if _, ok := ol.fwd[name]; !ok {
+				ol.fwd[name] = newFwdState()
+			}
+		}
+	}
+	s.rebuildLegOrder()
+}
+
+// setTotal updates the call-wide participant count after churn (layout
+// factors like Teams' ForwardFactor depend on it).
+func (s *Server) setTotal(n int) { s.n = n }
+
 // SetDisplayed configures which origins each receiver displays (layout).
+// The receiver may be a peer SFU, in which case the set is the union of
+// what that region's receivers display — the relay subscription.
 func (s *Server) SetDisplayed(receiver string, origins []string) {
 	s.displayed[receiver] = origins
 }
 
-// Leg exposes a receiver leg's controller (for tests).
-func (s *Server) Leg(receiver string) cc.Controller { return s.legs[receiver].ctrl }
+// Displayed returns the current displayed set for one receiver.
+func (s *Server) Displayed(receiver string) []string { return s.displayed[receiver] }
+
+// Leg exposes a receiver (or relay) leg's controller (for tests).
+func (s *Server) Leg(receiver string) cc.Controller {
+	if l := s.legs[receiver]; l != nil {
+		return l.ctrl
+	}
+	return nil
+}
 
 func (s *Server) start() {
 	s.running = true
@@ -133,7 +301,20 @@ func (s *Server) stop() {
 	s.tickers = nil
 }
 
-// onMedia receives an uplink packet from a client and forwards it.
+// sourcePeer identifies the upstream peer a packet was relayed by, or ""
+// for local uplink traffic. Relay probe padding carries the peer's own name
+// as origin; relayed media and FEC carry the original client's.
+func (s *Server) sourcePeer(mp *MediaPacket) string {
+	if p, ok := s.remote[mp.Origin]; ok {
+		return p
+	}
+	if s.peerSet[mp.Origin] {
+		return mp.Origin
+	}
+	return ""
+}
+
+// onMedia receives an uplink or relayed packet and forwards it.
 func (s *Server) onMedia(pkt *netem.Packet) {
 	if !s.running {
 		return
@@ -142,18 +323,25 @@ func (s *Server) onMedia(pkt *netem.Packet) {
 	if !ok {
 		return
 	}
-	// Uplink accounting for the origin's feedback loop. The server does
-	// not decode, so every packet is treated as opaque payload.
+	// Arrival accounting. The server does not decode, so every packet is
+	// treated as opaque payload: local uplinks feed the origin's feedback
+	// loop, relay arrivals feed the per-hop loop back to the upstream SFU.
 	if r, ok := s.upRecv[mp.Origin]; ok {
 		info := mp.Info(pkt.Size, pkt.SentAt)
 		info.Padding = true
 		r.OnPacket(s.eng.Now(), info)
+	} else if peer := s.sourcePeer(mp); peer != "" {
+		if r := s.relayRecv[peer]; r != nil {
+			info := mp.Info(pkt.Size, pkt.SentAt)
+			info.Padding = true
+			r.OnPacket(s.eng.Now(), info)
+		}
 	}
 	// Track per-stream arrival rates for selection decisions.
 	s.trackRate(mp, pkt.Size)
 
 	if mp.Padding {
-		return // client probe padding terminates here
+		return // probe padding and relay FEC terminate at each hop
 	}
 	for _, receiver := range s.clients {
 		if receiver == mp.Origin {
@@ -163,6 +351,17 @@ func (s *Server) onMedia(pkt *netem.Packet) {
 			continue
 		}
 		s.forward(s.legs[receiver], mp, pkt.Size)
+	}
+	// Relay locally homed origins to peer SFUs. Remote-origin media is
+	// never re-relayed: the mesh is full, so one inter-region hop reaches
+	// every region.
+	if _, isRemote := s.remote[mp.Origin]; !isRemote {
+		for _, peer := range s.relayPeers {
+			if !s.displays(peer, mp.Origin) && !mp.Audio {
+				continue
+			}
+			s.forward(s.legs[peer], mp, pkt.Size)
+		}
 	}
 }
 
@@ -176,14 +375,18 @@ func (s *Server) displays(receiver, origin string) bool {
 }
 
 func (s *Server) trackRate(mp *MediaPacket, size int) {
+	streams, ok := s.rates[mp.Origin]
+	if !ok {
+		return // e.g. relay probe padding named after the peer SFU
+	}
 	key := mp.StreamID
 	if mp.StreamID == "svc" {
 		key = svcKey(mp.Layer)
 	}
-	re, ok := s.rates[mp.Origin][key]
+	re, ok := streams[key]
 	if !ok {
 		re = &rateEst{}
-		s.rates[mp.Origin][key] = re
+		streams[key] = re
 	}
 	re.bytes += size
 }
@@ -196,10 +399,13 @@ func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
 	if fs == nil {
 		return
 	}
-	if s.passthrough {
+	if s.passthrough || (l.relay && l.ctrl == nil) {
+		// Pure relay hop (Teams): original sequence numbers and origin
+		// timestamps survive, keeping congestion control end-to-end even
+		// across a cascade of SFUs.
 		out := *mp
 		out.E2E = true
-		s.send(l.receiver, &out, size)
+		s.send(l, &out, size)
 		return
 	}
 	if mp.Audio {
@@ -244,11 +450,12 @@ func (s *Server) keepFrame(fs *fwdState, mp *MediaPacket) bool {
 }
 
 // emit rewrites sequence/frame numbers and sends the packet to the leg's
-// receiver, generating FEC overhead where the profile says so.
+// receiver, generating FEC overhead where the profile says so. Relay legs
+// share one sequence space across origins so the downstream SFU can run
+// loss accounting for the whole hop.
 func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo bool) {
 	out := *mp
-	out.Seq = fs.seq
-	fs.seq++
+	out.Seq = l.nextSeq(fs)
 	if isVideo {
 		out.FrameSeq = fs.frameOut
 		if fs.needKey {
@@ -260,7 +467,7 @@ func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo b
 			out.FrameEnd = mp.LayerEnd && (mp.Layer == fs.maxLayer || mp.FrameEnd)
 		}
 	}
-	s.send(l.receiver, &out, size)
+	s.send(l, &out, size)
 
 	if isVideo && s.prof.ServerFECOverhead > 0 {
 		fs.fecOwed += float64(size) * s.prof.ServerFECOverhead
@@ -270,24 +477,41 @@ func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo b
 				n = maxPayload
 			}
 			fs.fecOwed -= float64(n)
-			fec := &MediaPacket{Origin: mp.Origin, StreamID: "fec", Seq: fs.seq, Padding: true}
-			fs.seq++
-			s.send(l.receiver, fec, n+wireOverhead)
+			fec := &MediaPacket{Origin: mp.Origin, StreamID: "fec", Seq: l.nextSeq(fs), Padding: true}
+			s.send(l, fec, n+wireOverhead)
 		}
 	}
 }
 
-func (s *Server) send(receiver string, mp *MediaPacket, size int) {
+// nextSeq allocates the next sequence number on this leg: per-origin for
+// receiver legs, per-leg for relay legs.
+func (l *leg) nextSeq(fs *fwdState) uint16 {
+	if l.relay {
+		seq := l.seq
+		l.seq++
+		return seq
+	}
+	seq := fs.seq
+	fs.seq++
+	return seq
+}
+
+func (s *Server) send(l *leg, mp *MediaPacket, size int) {
+	kind := "sfu"
+	if l.relay {
+		kind = "relay"
+	}
 	s.host.Send(&netem.Packet{
 		Size:    size,
 		From:    netem.Addr{Host: s.Name, Port: PortMedia},
-		To:      netem.Addr{Host: receiver, Port: PortMedia},
-		Flow:    s.prof.Name + "/sfu/" + mp.Origin + "/" + mp.StreamID,
+		To:      netem.Addr{Host: l.receiver, Port: PortMedia},
+		Flow:    s.prof.Name + "/" + kind + "/" + mp.Origin + "/" + mp.StreamID,
 		Payload: mp,
 	})
 }
 
-// onFeedback handles a receiver's aggregate report.
+// onFeedback handles a receiver's (or downstream peer SFU's) aggregate
+// report.
 func (s *Server) onFeedback(pkt *netem.Packet) {
 	if !s.running {
 		return
@@ -313,7 +537,9 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 		return
 	}
 	// Teams: relay the report end-to-end to every origin the receiver
-	// displays — the far sender does the congestion control (§4.2).
+	// displays — the far sender does the congestion control (§4.2). In a
+	// cascade this reaches remote origins across the inter-region link,
+	// keeping the loop end-to-end.
 	for _, origin := range s.displayed[fb.From] {
 		s.host.Send(&netem.Packet{
 			Size:    feedbackWire,
@@ -343,14 +569,14 @@ func (s *Server) onSignal(pkt *netem.Packet) {
 	})
 }
 
-// controlTick runs every 100 ms: refresh rate estimates, send uplink
-// feedback to senders, and update every leg's selection state.
+// controlTick runs every 100 ms: refresh rate estimates, send uplink and
+// relay-hop feedback, and update every leg's selection state.
 func (s *Server) controlTick() {
 	if !s.running {
 		return
 	}
 	now := s.eng.Now()
-	// Rate estimator EWMA update.
+	// Rate estimator EWMA update (order-free: entries are independent).
 	for _, streams := range s.rates {
 		for _, re := range streams {
 			inst := float64(re.bytes) * 8 / 0.1
@@ -361,7 +587,8 @@ func (s *Server) controlTick() {
 	// Uplink feedback toward each sender — only when the server owns the
 	// downlink congestion control (Meet/Zoom). Teams relies on e2e RTCP.
 	if s.prof.NewServerCC != nil {
-		for origin, r := range s.upRecv {
+		for _, origin := range s.clients {
+			r := s.upRecv[origin]
 			st := r.Take(now)
 			if st.Interval == 0 {
 				st.Interval = 100 * time.Millisecond
@@ -374,15 +601,39 @@ func (s *Server) controlTick() {
 				Payload: &FeedbackMsg{From: s.Name, Stats: st},
 			})
 		}
+		// Per-hop feedback to each upstream peer SFU: the downstream end
+		// of a relay leg reports exactly like a receiver would, so the
+		// peer's relay controller sees loss and queueing on the
+		// inter-region link.
+		for _, peer := range s.peers {
+			r := s.relayRecv[peer]
+			if r == nil {
+				continue
+			}
+			st := r.Take(now)
+			if st.Interval == 0 {
+				st.Interval = 100 * time.Millisecond
+			}
+			s.host.Send(&netem.Packet{
+				Size:    feedbackWire,
+				From:    netem.Addr{Host: s.Name, Port: PortFeedback},
+				To:      netem.Addr{Host: peer, Port: PortFeedback},
+				Flow:    s.prof.Name + "/relay/rtcp-hop",
+				Payload: &FeedbackMsg{From: s.Name, Stats: st},
+			})
+		}
 	}
-	// Selection per leg.
-	for _, receiver := range s.clients {
+	// Selection per leg, local receivers first, then relay legs.
+	for _, receiver := range s.legOrder {
 		s.updateSelection(s.legs[receiver])
 	}
 }
 
 // updateSelection recomputes stream/layer/thinning choices for one leg.
 func (s *Server) updateSelection(l *leg) {
+	if l.relay && l.ctrl == nil {
+		return // Teams relay legs are pass-through; nothing to select
+	}
 	numVideo := len(s.displayed[l.receiver])
 	if numVideo == 0 {
 		return
@@ -428,6 +679,13 @@ func (s *Server) updateSelection(l *leg) {
 					// utilization floor behaviour).
 					fs.thinFactor = maxf(0.4, share/lowRate)
 				}
+				if _, isRemote := s.remote[origin]; isRemote && lowRate < 30_000 && highRate >= 30_000 {
+					// Cascade: the upstream relay narrowed the simulcast
+					// to the high copy only, so thin that instead of
+					// switching to a copy that never arrives.
+					fs.selStream = "sim/high"
+					fs.thinFactor = maxf(0.35, share/highRate)
+				}
 			}
 			if fs.selStream != prev {
 				fs.needKey = true
@@ -468,13 +726,14 @@ func (s *Server) rate(origin, key string) float64 {
 }
 
 // padTick emits server-side probe padding per leg (GCC recovery probes on
-// the Meet/Zoom downlink, Fig 5b's fast recovery).
+// the Meet/Zoom downlink, Fig 5b's fast recovery). Relay legs probe their
+// inter-region hop the same way.
 func (s *Server) padTick() {
 	if !s.running {
 		return
 	}
 	now := s.eng.Now()
-	for _, receiver := range s.clients {
+	for _, receiver := range s.legOrder {
 		l := s.legs[receiver]
 		if l.ctrl == nil {
 			continue
@@ -488,13 +747,15 @@ func (s *Server) padTick() {
 		for l.padOwed >= maxPayload {
 			l.padOwed -= maxPayload
 			mp := &MediaPacket{Origin: s.Name, StreamID: "pad", Padding: true}
-			s.send(receiver, mp, maxPayload+wireOverhead)
+			s.send(l, mp, maxPayload+wireOverhead)
 		}
 	}
 }
 
 // allocTick (Meet only): ask senders to shrink their low simulcast copy
-// when some receiver cannot even sustain it (§3.1 downlink floor).
+// when some receiver cannot even sustain it (§3.1 downlink floor). Only
+// local receivers are consulted; remote starvation is absorbed by the
+// relay leg's own selection.
 func (s *Server) allocTick() {
 	if !s.running {
 		return

@@ -31,6 +31,7 @@
 package vcalab
 
 import (
+	"vcalab/internal/cascade"
 	"vcalab/internal/experiment"
 	"vcalab/internal/netem"
 	"vcalab/internal/runner"
@@ -49,6 +50,9 @@ type (
 	Host = netem.Host
 	// Link is a shaped network hop.
 	Link = netem.Link
+	// LinkConfig describes one direction of a wire (rate, delay, queue,
+	// impairments) — used by cascade topologies and custom labs.
+	LinkConfig = netem.LinkConfig
 )
 
 // NewEngine creates a simulation engine; equal seeds give identical runs.
@@ -88,6 +92,31 @@ var (
 // NewCall assembles a conference between client hosts through an SFU host.
 var NewCall = vca.NewCall
 
+// Cascaded multi-SFU subsystem (internal/cascade): geo-distributed relay
+// meshes where each region runs its own SFU and media crosses each
+// inter-region link once per origin.
+type (
+	// CascadeTopology describes regions, the inter-region link matrix and
+	// the client→home-region assignment.
+	CascadeTopology = cascade.Topology
+	// CascadeRegion is one SFU site and its homed clients.
+	CascadeRegion = cascade.Region
+	// CascadeMesh is a built multi-router cascade lab.
+	CascadeMesh = cascade.Mesh
+	// CascadePlacement homes a group of client hosts on one SFU host.
+	CascadePlacement = vca.CascadePlacement
+)
+
+var (
+	// BuildCascade wires a cascade topology into a multi-router lab.
+	BuildCascade = cascade.Build
+	// CascadeAssign spreads n clients round-robin across regions.
+	CascadeAssign = cascade.Assign
+	// NewCascadedCall assembles a conference across per-region SFU hosts
+	// joined by relay legs (Meet/Zoom: per-hop CC; Teams: end-to-end).
+	NewCascadedCall = vca.NewCascadedCall
+)
+
 // Experiment harness.
 type (
 	// Lab is the paper's testbed topology (§2.2 / Fig 7).
@@ -112,6 +141,10 @@ type (
 	// loss and jitter on an unconstrained link.
 	ImpairmentConfig = experiment.ImpairmentConfig
 	ImpairmentResult = experiment.ImpairmentResult
+	// ScaleConfig/ScaleResult drive the cascaded large-call sweep
+	// (participants × regions × inter-region capacity).
+	ScaleConfig = experiment.ScaleConfig
+	ScaleResult = experiment.ScaleResult
 	// BandwidthTrace replays a time-varying access-link profile (the §8
 	// "other network contexts" extension); TraceStep is one segment.
 	BandwidthTrace = experiment.BandwidthTrace
@@ -162,6 +195,7 @@ var (
 	RunCompetition = experiment.RunCompetition
 	RunModality    = experiment.RunModality
 	RunImpairment  = experiment.RunImpairment
+	RunScale       = experiment.RunScale
 	RunTrace       = experiment.RunTrace
 	RunTraces      = experiment.RunTraces
 	ModalitySweep  = experiment.ModalitySweep
@@ -180,6 +214,7 @@ var (
 	PrintCompetition     = experiment.PrintCompetition
 	PrintModality        = experiment.PrintModality
 	PrintImpairment      = experiment.PrintImpairment
+	PrintScale           = experiment.PrintScale
 )
 
 // Topology delays (re-exported from the experiment package).
