@@ -10,7 +10,8 @@
 //	vcabench -experiment fig1a -reps 5
 //	vcabench -experiment scale -quick
 //	vcabench -experiment all -quick
-//	vcabench -bench -json
+//	vcabench -bench scale -json
+//	vcabench -bench engine -json
 //
 // Independent trials fan out across all cores by default (-parallel 0);
 // output is byte-identical to a sequential run (-parallel 1) because each
@@ -37,8 +38,8 @@ var (
 	parallel = flag.Int("parallel", 0, "trials run concurrently (0 = all cores, 1 = sequential); results are identical either way")
 	progress = flag.Bool("progress", true, "report per-sweep trial progress on stderr")
 	list     = flag.Bool("list", false, "list experiment ids with descriptions and exit")
-	bench    = flag.Bool("bench", false, "benchmark the scale sweep at 1 and NumCPU workers, then exit")
-	jsonOut  = flag.Bool("json", false, "with -bench: write machine-readable results to BENCH_scale.json")
+	bench    = flag.String("bench", "", "benchmark mode: `scale` (sweep at 1 and NumCPU workers, BENCH_scale.json) or `engine` (events/sec + allocs/event, BENCH_engine.json)")
+	jsonOut  = flag.Bool("json", false, "with -bench: write machine-readable results to BENCH_<mode>.json")
 )
 
 // experimentDef is one runnable artifact; the registry is the single
@@ -113,9 +114,17 @@ func main() {
 		})
 	}
 
-	if *bench {
+	switch *bench {
+	case "":
+	case "scale":
 		benchScale()
 		return
+	case "engine":
+		benchEngine()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -bench mode %q (want scale or engine)\n", *bench)
+		os.Exit(2)
 	}
 
 	if *exp == "all" {
@@ -396,5 +405,62 @@ func benchScale() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_scale.json")
+	}
+}
+
+// engineBaseline is the engine benchmark recorded on the pre-refactor
+// engine (binary container/heap, closure events, per-tick allocations) at
+// commit ffac68f, on the same workload benchEngine runs (Teams, 24
+// participants, 3 regions, 20 Mbps inter, 30 s). It is the yardstick
+// BENCH_engine.json compares against.
+var engineBaseline = vcalab.EngineBenchResult{
+	Events:                  2821228,
+	WallSeconds:             1.60,
+	EventsPerSecond:         1761000,
+	AllocsPerEvent:          4.31,
+	BytesPerEvent:           172.9,
+	SimSecondsPerWallSecond: 18.7,
+	MicroEventsPerSecond:    5335000,
+	MicroAllocsPerEvent:     2.00,
+}
+
+// benchEngine measures the simulation engine itself — events/sec,
+// allocs/event and sim-seconds per wall-second on a cascaded call — and
+// records the result next to the pre-refactor baseline.
+func benchEngine() {
+	cfg := vcalab.EngineBenchConfig{Profile: vcalab.Teams(), Seed: *seed}
+	if *quick {
+		cfg.Participants = 8
+		cfg.Dur = 10 * time.Second
+		cfg.MicroEvents = 200_000
+	}
+	cur := vcalab.RunEngineBench(cfg)
+	fmt.Printf("engine bench: %9d events  %6.2fs wall  %9.0f events/s  %5.2f allocs/event  %6.1f sim-s/wall-s\n",
+		cur.Events, cur.WallSeconds, cur.EventsPerSecond, cur.AllocsPerEvent, cur.SimSecondsPerWallSecond)
+	fmt.Printf("engine micro: %9.0f events/s  %5.2f allocs/event\n",
+		cur.MicroEventsPerSecond, cur.MicroAllocsPerEvent)
+	if engineBaseline.EventsPerSecond > 0 {
+		fmt.Printf("vs baseline:  %.2fx events/s  %.2fx allocs/event  %.2fx sim-s/wall-s\n",
+			cur.EventsPerSecond/engineBaseline.EventsPerSecond,
+			cur.AllocsPerEvent/engineBaseline.AllocsPerEvent,
+			cur.SimSecondsPerWallSecond/engineBaseline.SimSecondsPerWallSecond)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Workload string                   `json:"workload"`
+			Baseline vcalab.EngineBenchResult `json:"baseline_pre_refactor"`
+			Current  vcalab.EngineBenchResult `json:"current"`
+		}{"teams 24p/3r/20Mbps 30s cascaded call + scheduler micro", engineBaseline, cur}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal bench results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write BENCH_engine.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_engine.json")
 	}
 }

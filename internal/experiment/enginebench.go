@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"vcalab/internal/cascade"
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/vca"
+)
+
+// EngineBenchConfig drives the engine benchmark: a full cascaded call
+// measured on a single engine (the macro workload, dominated by the
+// packet path), plus a bare-scheduler microbenchmark (one-shot event
+// chains and periodic tickers with no protocol work).
+type EngineBenchConfig struct {
+	Profile      *vca.Profile
+	Participants int           // default 24
+	Regions      int           // default 3
+	InterMbps    float64       // default 20
+	Dur          time.Duration // simulated call length, default 30s
+	Seed         int64
+	// MicroEvents is the number of one-shot chain events driven through
+	// the bare engine in the microbenchmark (default 2,000,000).
+	MicroEvents int
+}
+
+func (c *EngineBenchConfig) defaults() {
+	if c.Participants == 0 {
+		c.Participants = 24
+	}
+	if c.Regions == 0 {
+		c.Regions = 3
+	}
+	if c.InterMbps == 0 {
+		c.InterMbps = 20
+	}
+	if c.Dur == 0 {
+		c.Dur = 30 * time.Second
+	}
+	if c.MicroEvents == 0 {
+		c.MicroEvents = 2_000_000
+	}
+}
+
+// EngineBenchResult reports the engine's throughput and allocation
+// behaviour. Macro figures come from the cascaded-call workload; micro
+// figures isolate the scheduler itself.
+type EngineBenchResult struct {
+	Events                  uint64  `json:"events"`
+	WallSeconds             float64 `json:"wall_seconds"`
+	EventsPerSecond         float64 `json:"events_per_second"`
+	AllocsPerEvent          float64 `json:"allocs_per_event"`
+	BytesPerEvent           float64 `json:"bytes_per_event"`
+	SimSecondsPerWallSecond float64 `json:"sim_seconds_per_wall_second"`
+
+	MicroEventsPerSecond float64 `json:"micro_events_per_second"`
+	MicroAllocsPerEvent  float64 `json:"micro_allocs_per_event"`
+}
+
+// RunEngineBench measures the simulation engine on one cascaded call plus
+// a scheduler microbenchmark. It is single-threaded by design: the numbers
+// characterize one engine/core, independent of sweep parallelism.
+func RunEngineBench(cfg EngineBenchConfig) EngineBenchResult {
+	cfg.defaults()
+	var res EngineBenchResult
+
+	// --- macro: one cascaded call on one engine ---
+	eng := sim.New(cfg.Seed)
+	assign := cascade.Assign(cfg.Participants, cfg.Regions)
+	topo := cascade.Topology{
+		Default: netem.LinkConfig{RateBps: cfg.InterMbps * 1e6, Delay: cascade.DefaultInterDelay},
+	}
+	for r := 0; r < cfg.Regions; r++ {
+		topo.Regions = append(topo.Regions, cascade.Region{
+			Name: fmt.Sprintf("r%d", r), Clients: assign[r],
+		})
+	}
+	mesh := cascade.Build(eng, topo)
+	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	call.Start()
+	eng.RunUntil(cfg.Dur)
+	call.Stop()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	res.Events = eng.Processed()
+	res.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		res.EventsPerSecond = float64(res.Events) / wall.Seconds()
+		res.SimSecondsPerWallSecond = cfg.Dur.Seconds() / wall.Seconds()
+	}
+	if res.Events > 0 {
+		res.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(res.Events)
+		res.BytesPerEvent = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Events)
+	}
+
+	// --- micro: bare scheduler, no protocol machinery ---
+	me := sim.New(cfg.Seed)
+	remaining := cfg.MicroEvents
+	var chain func()
+	chain = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		me.Schedule(time.Duration(remaining%977)*time.Microsecond, chain)
+	}
+	// 64 concurrent chains emulate in-flight packets; 16 tickers emulate
+	// the periodic media/feedback loops.
+	for i := 0; i < 64; i++ {
+		me.Schedule(time.Duration(i)*time.Microsecond, chain)
+	}
+	for i := 0; i < 16; i++ {
+		me.Every(time.Duration(i+1)*10*time.Millisecond, func() {})
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start = time.Now()
+	for remaining > 0 && me.Step() {
+	}
+	microWall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if ev := me.Processed(); ev > 0 {
+		res.MicroEventsPerSecond = float64(ev) / microWall.Seconds()
+		res.MicroAllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(ev)
+	}
+	return res
+}

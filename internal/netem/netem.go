@@ -26,6 +26,11 @@ func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
 // Packet is the unit of transmission. Size is the full on-wire size in
 // bytes (headers included); Payload carries a typed application object
 // (an rtp.Packet, a TCP segment, ...) that the emulator never inspects.
+//
+// Hot-path senders obtain packets from Host.NewPacket; such packets are
+// recycled by the emulator at their terminal point (final delivery, queue
+// drop, or unrouteable) and must not be retained afterwards. Packets
+// built directly with a composite literal are never recycled.
 type Packet struct {
 	Size    int
 	From    Addr
@@ -33,6 +38,56 @@ type Packet struct {
 	Flow    string // accounting label, e.g. "zoom/c1/video"
 	Payload any
 	SentAt  time.Duration // stamped by Host.Send
+
+	pool *PacketPool // owning free list, nil for literal packets
+}
+
+// PacketPool is a single-threaded free list of Packet structs, owned by
+// one host within one engine. Pooling keeps the per-packet transit path
+// allocation-free; determinism is unaffected because reuse never changes
+// event ordering.
+type PacketPool struct{ free []*Packet }
+
+// Get returns a zeroed packet owned by the pool.
+func (p *PacketPool) Get() *Packet {
+	if n := len(p.free) - 1; n >= 0 {
+		pkt := p.free[n]
+		p.free = p.free[:n]
+		return pkt
+	}
+	return &Packet{pool: p}
+}
+
+func (p *PacketPool) put(pkt *Packet) {
+	*pkt = Packet{pool: p}
+	p.free = append(p.free, pkt)
+}
+
+// Release returns the packet to its owning pool. It is the emulator's
+// explicit recycle point, called once per packet at final delivery or
+// drop; it is a no-op for packets not obtained from a pool.
+func (pkt *Packet) Release() {
+	if pkt.pool != nil {
+		pkt.pool.put(pkt)
+	}
+}
+
+// PayloadReleaser is implemented by pooled payload types (vca's media
+// packets). When the emulator terminates a packet that never reaches a
+// consumer — a queue or impairment drop, an unrouteable address — it
+// recycles the payload too, so loss-heavy workloads stay allocation-free.
+// Delivered packets are NOT payload-released: their port handler is the
+// payload's one consumer.
+type PayloadReleaser interface {
+	ReleasePayload()
+}
+
+// discard terminates a packet that will never be delivered.
+func (pkt *Packet) discard() {
+	if pr, ok := pkt.Payload.(PayloadReleaser); ok {
+		pr.ReleasePayload()
+	}
+	pkt.Release()
 }
 
 // Handler consumes delivered packets.
@@ -94,6 +149,7 @@ type Link struct {
 	queue      []*Packet
 	queuedSize int
 	busy       bool
+	inService  *Packet // the packet currently being serialized
 
 	// Statistics, cumulative since creation.
 	Delivered      uint64
@@ -175,29 +231,43 @@ func (l *Link) Send(pkt *Packet) {
 
 func (l *Link) transmit(pkt *Packet) {
 	l.busy = true
+	l.inService = pkt
 	tx := time.Duration(float64(pkt.Size*8) / l.cfg.RateBps * float64(time.Second))
-	l.eng.Schedule(tx, func() {
-		l.deliverAfter(pkt, l.cfg.Delay)
-		if len(l.queue) > 0 {
-			next := l.queue[0]
-			l.queue = l.queue[1:]
-			l.queuedSize -= next.Size
-			l.transmit(next)
-		} else {
-			l.busy = false
-		}
-	})
+	l.eng.ScheduleHandler(tx, l)
+}
+
+// OnEvent implements sim.Handler: serialization of the in-service packet
+// completed. It hands the packet to the propagation stage, then starts on
+// the queue head — the same event order as the original closure.
+func (l *Link) OnEvent(time.Duration) {
+	pkt := l.inService
+	l.inService = nil
+	l.deliverAfter(pkt, l.cfg.Delay)
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.queuedSize -= next.Size
+		l.transmit(next)
+	} else {
+		l.busy = false
+	}
 }
 
 func (l *Link) deliverAfter(pkt *Packet, d time.Duration) {
 	if l.cfg.Jitter > 0 {
 		d += time.Duration(l.eng.Rand().Float64() * float64(l.cfg.Jitter))
 	}
-	l.eng.Schedule(d, func() {
-		l.Delivered++
-		l.DeliveredBytes += uint64(pkt.Size)
-		l.dst.Deliver(pkt)
-	})
+	l.eng.ScheduleArg(d, l, pkt)
+}
+
+// OnArgEvent implements sim.ArgHandler: one packet finished propagating.
+// Many such events are in flight per link; each carries its packet in the
+// pooled event's arg slot, so the transit path allocates nothing.
+func (l *Link) OnArgEvent(_ time.Duration, arg any) {
+	pkt := arg.(*Packet)
+	l.Delivered++
+	l.DeliveredBytes += uint64(pkt.Size)
+	l.dst.Deliver(pkt)
 }
 
 func (l *Link) drop(pkt *Packet) {
@@ -206,6 +276,7 @@ func (l *Link) drop(pkt *Packet) {
 	if l.onDrop != nil {
 		l.onDrop(pkt)
 	}
+	pkt.discard()
 }
 
 // Host is a named endpoint running one or more applications, each bound to
@@ -217,10 +288,16 @@ type Host struct {
 	uplink *Link
 	ports  map[int]Handler
 	taps   []func(*Packet)
+	pool   PacketPool
 
 	// Unrouteable counts packets delivered to a port nobody listens on.
 	Unrouteable uint64
 }
+
+// NewPacket returns a zeroed packet from the host's free list. The
+// emulator recycles it at its terminal point (final delivery, drop, or
+// unrouteable), so the caller must not retain it after Send.
+func (h *Host) NewPacket() *Packet { return h.pool.Get() }
 
 // NewHost creates a host. Attach its uplink with SetUplink once the
 // topology is wired.
@@ -254,16 +331,19 @@ func (h *Host) Send(pkt *Packet) {
 	h.uplink.Send(pkt)
 }
 
-// Deliver implements Handler: dispatches to the registered port handler.
+// Deliver implements Handler: dispatches to the registered port handler,
+// then recycles the packet — a host is every packet's terminal point.
 func (h *Host) Deliver(pkt *Packet) {
 	for _, tap := range h.taps {
 		tap(pkt)
 	}
 	if hd, ok := h.ports[pkt.To.Port]; ok {
 		hd.Deliver(pkt)
+		pkt.Release()
 		return
 	}
 	h.Unrouteable++
+	pkt.discard()
 }
 
 // Router forwards packets by destination host name. It also models the
@@ -301,6 +381,7 @@ func (r *Router) Deliver(pkt *Packet) {
 		return
 	}
 	r.Unrouteable++
+	pkt.discard()
 }
 
 // Duplex wires a bidirectional connection between two handlers and returns

@@ -5,26 +5,171 @@
 // the same packet trace on every run. The engine is a priority queue of
 // timestamped callbacks plus a seeded random source; nothing in the library
 // reads the wall clock.
+//
+// # Architecture
+//
+// The scheduler is built for the packet-path hot loop (see DESIGN.md §7):
+//
+//   - Events are pooled. Every event struct comes from a per-engine free
+//     list (allocated in blocks) and returns to it when it fires or its
+//     cancellation is collected, so steady-state scheduling allocates
+//     nothing. The engine is single-threaded, so the free list needs no
+//     locking.
+//   - The ready queue is a 4-ary min-heap ordered by (time, seq):
+//     shallower than a binary heap, with all four children in one cache
+//     line's worth of pointers. Lazy cancellation means events never
+//     need removal by position, so no per-event index is maintained.
+//   - A hierarchical timer wheel (3 levels x 256 slots, 1 ms granularity)
+//     front-ends the heap for far-out events — periodic tickers, RTO and
+//     keyframe timers. Insertion is O(1); a slot is flushed into the heap
+//     when virtual time reaches its start, which preserves the exact
+//     (time, seq) total order because flushing can only happen at or
+//     before an event's due time.
+//   - Hot callers schedule closure-free events against the Handler and
+//     ArgHandler interfaces instead of func() closures; the packet path
+//     (internal/netem) carries its *Packet through the event's arg slot.
+//   - Timer.Stop is a lazy cancellation: the event is marked dead and its
+//     struct is recycled when the heap or wheel next encounters it. Timer
+//     handles carry a generation counter so a stale handle can never
+//     cancel an unrelated reuse of the same pooled struct.
+//
+// Determinism is unchanged from the original container/heap engine: events
+// scheduled for the same instant fire in scheduling order, guaranteed by
+// the monotonically increasing sequence number assigned at schedule time.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 	"time"
 )
+
+// Handler is implemented by hot-path callers that want to receive events
+// without allocating a closure per schedule.
+type Handler interface {
+	OnEvent(now time.Duration)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(now time.Duration)
+
+// OnEvent calls f(now).
+func (f HandlerFunc) OnEvent(now time.Duration) { f(now) }
+
+// ArgHandler receives events that carry a payload pointer: one handler
+// instance (a link, a flow) serves many in-flight events, each carrying
+// its own argument (a packet) through the pooled event's arg slot.
+type ArgHandler interface {
+	OnArgEvent(now time.Duration, arg any)
+}
+
+// event is a pooled scheduler entry. Exactly one of fn, h or ah is set.
+type event struct {
+	at  time.Duration
+	seq uint64
+	// gen guards Timer handles across pooling: it increments every time
+	// the struct is recycled, so a stale Timer cannot cancel an
+	// unrelated reuse.
+	gen       uint32
+	cancelled bool
+
+	fn  func()
+	h   Handler
+	ah  ArgHandler
+	arg any
+
+	// next links free-list entries and wheel-slot chains.
+	next *event
+}
+
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Timer wheel geometry. Level 0 covers 256 ms at 1 ms granularity; each
+// higher level covers 256x more. Events beyond the horizon, or due sooner
+// than wheelMinDelay (they would only bounce through the current slot),
+// go straight to the heap.
+const (
+	wheelBits     = 8
+	wheelSlots    = 1 << wheelBits
+	wheelLevels   = 3
+	wheelTick     = time.Millisecond
+	wheelMinDelay = 4 * wheelTick
+)
+
+const farFuture = time.Duration(math.MaxInt64)
+
+// wheel is the hierarchical timer wheel. Slots hold intrusive event
+// chains; per-level bitmaps make the next-occupied-slot scan cheap.
+// nextDue is a lower bound on the earliest slot start time — flushing a
+// slot early is always safe, because the heap re-establishes the exact
+// (time, seq) order of whatever the wheel hands it.
+type wheel struct {
+	slots   [wheelLevels][wheelSlots]*event
+	bitmaps [wheelLevels][wheelSlots / 64]uint64
+	count   int
+	nextDue time.Duration
+}
+
+// insert files ev into the wheel, or reports false if it belongs in the
+// heap (too near, or beyond the horizon). now is the engine clock.
+func (w *wheel) insert(now time.Duration, ev *event) bool {
+	if ev.at-now < wheelMinDelay {
+		return false
+	}
+	base := uint64(now / wheelTick)
+	tick := uint64(ev.at / wheelTick)
+	delta := tick - base
+	var level int
+	switch {
+	case delta < wheelSlots:
+		level = 0
+	case delta < wheelSlots*wheelSlots:
+		level = 1
+	case delta < wheelSlots*wheelSlots*wheelSlots:
+		level = 2
+	default:
+		return false
+	}
+	slot := (tick >> (wheelBits * level)) & (wheelSlots - 1)
+	ev.next = w.slots[level][slot]
+	w.slots[level][slot] = ev
+	w.bitmaps[level][slot/64] |= 1 << (slot % 64)
+	start := time.Duration((tick>>(wheelBits*level))<<(wheelBits*level)) * wheelTick
+	if w.count == 0 || start < w.nextDue {
+		w.nextDue = start
+	}
+	w.count++
+	return true
+}
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // one with New. Engine is not safe for concurrent use: the entire simulation
 // runs single-threaded, which is what makes it deterministic.
 type Engine struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
+	now  time.Duration
+	heap []*event
+	seq  uint64
+	rng  *rand.Rand
 	// processed counts executed events, exposed for tests and benchmarks.
 	processed uint64
+
+	wheel wheel
+	free  *event
+	// live counts events handed out of the free list and not yet
+	// recycled — the pooled-event leak detector used by tests.
+	live int
 }
+
+// eventBlock is how many pooled events are allocated at once when the
+// free list runs dry.
+const eventBlock = 128
 
 // New returns an Engine whose random source is seeded with seed.
 // Two engines created with the same seed run identically.
@@ -43,16 +188,60 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Processed reports how many events have executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Timer is a handle to a scheduled event. Stop cancels it.
+// alloc hands out a pooled event, growing the pool by a block when empty.
+func (e *Engine) alloc() *event {
+	if e.free == nil {
+		blk := make([]event, eventBlock)
+		for i := range blk {
+			blk[i].next = e.free
+			e.free = &blk[i]
+		}
+	}
+	ev := e.free
+	e.free = ev.next
+	ev.next = nil
+	e.live++
+	return ev
+}
+
+// recycle returns ev to the free list, invalidating outstanding Timer
+// handles via the generation counter.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.h, ev.ah, ev.arg = nil, nil, nil, nil
+	ev.cancelled = false
+	ev.next = e.free
+	e.free = ev
+	e.live--
+}
+
+// add stamps and files a fresh event. Times in the past are clamped to now.
+func (e *Engine) add(at time.Duration, ev *event) Timer {
+	if at < e.now {
+		at = e.now
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	if !e.wheel.insert(e.now, ev) {
+		e.heapPush(ev)
+	}
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// Timer is a handle to a scheduled event. Stop cancels it. The zero Timer
+// is valid and inert. Timers are values: copying one copies the handle.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
 // Stop cancels the timer. It is safe to call on a timer that already fired
 // or was already stopped; Stop reports whether the call prevented the event
-// from firing.
+// from firing. Cancellation is lazy: the pooled event is reclaimed when the
+// scheduler next encounters it.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled {
 		return false
 	}
 	t.ev.cancelled = true
@@ -61,95 +250,221 @@ func (t *Timer) Stop() bool {
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero. Events scheduled for the same instant run in scheduling order.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
-	if delay < 0 {
-		delay = 0
-	}
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	return e.At(e.now+delay, fn)
 }
 
 // At runs fn at the absolute virtual time t. Times in the past are clamped
 // to now.
-func (e *Engine) At(t time.Duration, fn func()) *Timer {
-	if t < e.now {
-		t = e.now
-	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+func (e *Engine) At(t time.Duration, fn func()) Timer {
+	ev := e.alloc()
+	ev.fn = fn
+	return e.add(t, ev)
+}
+
+// ScheduleHandler runs h.OnEvent after delay without allocating: the event
+// comes from the engine pool and carries the handler interface directly.
+func (e *Engine) ScheduleHandler(delay time.Duration, h Handler) Timer {
+	return e.AtHandler(e.now+delay, h)
+}
+
+// AtHandler runs h.OnEvent at the absolute virtual time t.
+func (e *Engine) AtHandler(t time.Duration, h Handler) Timer {
+	ev := e.alloc()
+	ev.h = h
+	return e.add(t, ev)
+}
+
+// ScheduleArg runs h.OnArgEvent(now, arg) after delay. This is the packet
+// path's closure-free transit event: arg is typically a *netem.Packet.
+func (e *Engine) ScheduleArg(delay time.Duration, h ArgHandler, arg any) Timer {
+	ev := e.alloc()
+	ev.ah = h
+	ev.arg = arg
+	return e.add(e.now+delay, ev)
 }
 
 // Ticker repeatedly invokes a callback at a fixed interval until stopped.
+// The ticker re-arms itself through one pooled event per fire: no per-tick
+// allocation.
 type Ticker struct {
 	eng      *Engine
 	interval time.Duration
 	fn       func()
-	timer    *Timer
+	h        Handler
+	timer    Timer
 	stopped  bool
+	firing   bool
 }
 
 // Every runs fn every interval, first firing one interval from now.
 // It panics if interval is not positive, since a zero-interval ticker would
 // prevent virtual time from ever advancing.
 func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
-	if interval <= 0 {
-		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
-	}
-	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t := &Ticker{eng: e, interval: checkInterval(interval), fn: fn}
 	t.arm()
 	return t
 }
 
-func (t *Ticker) arm() {
-	t.timer = t.eng.Schedule(t.interval, func() {
-		if t.stopped {
-			return
-		}
+// EveryHandler runs h.OnEvent every interval — the closure-free form of
+// Every used by the media/feedback tick loops.
+func (e *Engine) EveryHandler(interval time.Duration, h Handler) *Ticker {
+	t := &Ticker{eng: e, interval: checkInterval(interval), h: h}
+	t.arm()
+	return t
+}
+
+func checkInterval(interval time.Duration) time.Duration {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
+	}
+	return interval
+}
+
+// OnEvent fires one tick and re-arms. It implements Handler so the ticker's
+// own pooled event dispatches straight to it; do not call it directly.
+func (t *Ticker) OnEvent(now time.Duration) {
+	if t.stopped {
+		return
+	}
+	t.firing = true
+	if t.fn != nil {
 		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	} else {
+		t.h.OnEvent(now)
+	}
+	t.firing = false
+	if !t.stopped {
+		t.arm()
+	}
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.eng.ScheduleHandler(t.interval, t)
 }
 
 // Stop prevents any future ticks. The ticker cannot be restarted.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
+	t.timer.Stop()
 }
 
 // Reset changes the ticker interval; the next tick fires one new interval
-// from now.
+// from now. Reset on a stopped ticker is a no-op. Resetting from inside
+// the ticker's own callback only updates the cadence — the tick in flight
+// re-arms once, at the new interval, when the callback returns.
 func (t *Ticker) Reset(interval time.Duration) {
-	if interval <= 0 {
-		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
-	}
+	checkInterval(interval)
 	if t.stopped {
 		return
 	}
-	t.timer.Stop()
 	t.interval = interval
+	if t.firing {
+		return // OnEvent's tail re-arms at the new cadence
+	}
+	t.timer.Stop()
 	t.arm()
+}
+
+// flushWheel moves every wheel slot whose start time is at or before upTo
+// into the heap, and recomputes the wheel's exact next due bound. Moving a
+// slot early is always safe: the heap orders its events by (time, seq)
+// exactly as if they had been pushed at schedule time.
+func (e *Engine) flushWheel(upTo time.Duration) {
+	w := &e.wheel
+	base := uint64(e.now / wheelTick)
+	next := farFuture
+	for l := 0; l < wheelLevels; l++ {
+		shift := uint(wheelBits * l)
+		baseL := base >> shift
+		for wi := range w.bitmaps[l] {
+			word := w.bitmaps[l][wi]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				s := uint64(wi*64 + b)
+				sd := (s - baseL) & (wheelSlots - 1)
+				start := time.Duration((baseL+sd)<<shift) * wheelTick
+				if start > upTo {
+					if start < next {
+						next = start
+					}
+					continue
+				}
+				ev := w.slots[l][s]
+				w.slots[l][s] = nil
+				w.bitmaps[l][wi] &^= 1 << uint(b)
+				for ev != nil {
+					nx := ev.next
+					ev.next = nil
+					w.count--
+					if ev.cancelled {
+						e.recycle(ev)
+					} else {
+						e.heapPush(ev)
+					}
+					ev = nx
+				}
+			}
+		}
+	}
+	w.nextDue = next
+}
+
+// peek returns the earliest live event without executing it, collecting
+// cancelled events and flushing due wheel slots along the way.
+func (e *Engine) peek() *event {
+	for {
+		if e.wheel.count > 0 {
+			ht := farFuture
+			if len(e.heap) > 0 {
+				ht = e.heap[0].at
+			}
+			if e.wheel.nextDue <= ht {
+				// A wheel slot may hold an event due before the heap
+				// top: flush the earliest slot and re-examine. Each
+				// call either moves a slot into the heap or raises
+				// nextDue, so this terminates.
+				e.flushWheel(e.wheel.nextDue)
+				continue
+			}
+		}
+		if len(e.heap) == 0 {
+			return nil
+		}
+		top := e.heap[0]
+		if top.cancelled {
+			e.heapPop()
+			e.recycle(top)
+			continue
+		}
+		return top
+	}
 }
 
 // Step executes the single earliest pending event and reports whether one
 // existed.
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		ev.fired = true
-		e.processed++
-		ev.fn()
-		return true
+	ev := e.peek()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.heapPop()
+	e.now = ev.at
+	e.processed++
+	fn, h, ah, arg := ev.fn, ev.h, ev.ah, ev.arg
+	// Recycle before dispatch: the callback's own schedules reuse the
+	// still-hot struct, and its Timer handles are already invalidated.
+	e.recycle(ev)
+	switch {
+	case fn != nil:
+		fn()
+	case ah != nil:
+		ah.OnArgEvent(e.now, arg)
+	default:
+		h.OnEvent(e.now)
+	}
+	return true
 }
 
 // Run executes events until none remain.
@@ -173,53 +488,85 @@ func (e *Engine) RunUntil(t time.Duration) {
 	}
 }
 
-func (e *Engine) peek() *event {
-	for e.events.Len() > 0 {
-		ev := e.events[0]
-		if ev.cancelled {
-			heap.Pop(&e.events)
-			continue
-		}
-		return ev
-	}
-	return nil
-}
-
 // Pending reports the number of live (non-cancelled) events still queued.
 func (e *Engine) Pending() int {
 	n := 0
-	for _, ev := range e.events {
+	for _, ev := range e.heap {
 		if !ev.cancelled {
 			n++
+		}
+	}
+	for l := range e.wheel.slots {
+		for s := range e.wheel.slots[l] {
+			for ev := e.wheel.slots[l][s]; ev != nil; ev = ev.next {
+				if !ev.cancelled {
+					n++
+				}
+			}
 		}
 	}
 	return n
 }
 
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	fired     bool
+// --- 4-ary heap ---
+
+func (e *Engine) heapPush(ev *event) {
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *Engine) heapPop() *event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.siftDown(0)
 	}
-	return h[i].seq < h[j].seq
+	return top
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !less(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
 }

@@ -251,6 +251,159 @@ func TestQuickMonotonicClock(t *testing.T) {
 	}
 }
 
+// --- pooled-engine edge cases the packet-path refactor must preserve ---
+
+// Same-instant FIFO must survive event-struct reuse: fire a batch (events
+// return to the free list in some order), then schedule a second
+// same-instant batch that reuses those structs.
+func TestSameInstantFIFOAcrossPoolReuse(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 20; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	// Cancel a few to scramble the free-list order at collection time.
+	tm := e.Schedule(time.Second, func() { t.Error("cancelled event fired") })
+	tm.Stop()
+	e.Run()
+	for i := 0; i < 20; i++ {
+		if got[i] != i {
+			t.Fatalf("first batch out of FIFO order: %v", got)
+		}
+	}
+	got = nil
+	for i := 0; i < 20; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) }) // reuses pooled structs
+	}
+	e.Run()
+	for i := 0; i < 20; i++ {
+		if got[i] != i {
+			t.Fatalf("second (pool-reusing) batch out of FIFO order: %v", got)
+		}
+	}
+}
+
+// Timer.Stop from inside a firing callback: stopping yourself reports
+// false (the event already fired); stopping a later same-instant timer
+// must still prevent it from firing.
+func TestTimerStopInsideFiringCallback(t *testing.T) {
+	e := New(1)
+	var self, victim Timer
+	victimFired := false
+	self = e.Schedule(time.Second, func() {
+		if self.Stop() {
+			t.Error("Stop() on the timer currently firing returned true")
+		}
+		if !victim.Stop() {
+			t.Error("Stop() on a pending same-instant timer returned false")
+		}
+	})
+	victim = e.Schedule(time.Second, func() { victimFired = true })
+	e.Run()
+	if victimFired {
+		t.Fatal("timer stopped from a firing callback still fired")
+	}
+}
+
+// A stale Timer handle must not cancel an unrelated reuse of the same
+// pooled event struct (generation guard).
+func TestStaleTimerHandleAfterReuse(t *testing.T) {
+	e := New(1)
+	t1 := e.Schedule(time.Millisecond, func() {})
+	e.Run()
+	fired := false
+	e.Schedule(time.Millisecond, func() { fired = true }) // reuses t1's struct
+	if t1.Stop() {
+		t.Fatal("stale handle Stop() returned true")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled an unrelated reused event")
+	}
+}
+
+// Ticker stop/restart semantics: Stop is final (Reset on a stopped ticker
+// is a no-op), and a replacement ticker picks up cleanly.
+func TestTickerStopThenRestart(t *testing.T) {
+	e := New(1)
+	count := 0
+	tk := e.Every(time.Second, func() { count++ })
+	e.RunUntil(3500 * time.Millisecond)
+	tk.Stop()
+	tk.Reset(100 * time.Millisecond) // must not revive it
+	e.RunUntil(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("stopped ticker ticked: count = %d, want 3", count)
+	}
+	count = 0
+	e.Every(time.Second, func() { count++ }) // fresh ticker restarts the cadence
+	e.RunUntil(15 * time.Second)
+	if count != 5 {
+		t.Fatalf("restarted ticker count = %d, want 5", count)
+	}
+}
+
+// Long-interval tickers ride the timer wheel's higher levels; cadence and
+// determinism must be unaffected.
+func TestTickerLongIntervalsOnWheel(t *testing.T) {
+	e := New(1)
+	var times []time.Duration
+	e.Every(700*time.Millisecond, func() { times = append(times, e.Now()) }) // level 1
+	e.Every(90*time.Second, func() { times = append(times, e.Now()) })       // level 2
+	e.RunUntil(91 * time.Second)
+	if len(times) == 0 {
+		t.Fatal("no ticks")
+	}
+	// Verify the 700ms cadence exactly, with the 90s tick interleaved.
+	want := 700 * time.Millisecond
+	next := want
+	seen90 := false
+	for _, at := range times {
+		if at == 90*time.Second && !seen90 {
+			seen90 = true
+			continue
+		}
+		if at != next {
+			t.Fatalf("tick at %v, want %v", at, next)
+		}
+		next += want
+	}
+	if !seen90 {
+		t.Fatal("90s wheel-level-2 tick missing")
+	}
+}
+
+// After a full drain, every pooled event must be back on the free list:
+// zero leaks from firing, cancellation, wheel residence, or ticker stop.
+func TestEngineDrainNoLeakedEvents(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 500; i++ {
+		d := time.Duration(i%300) * time.Millisecond // heap + wheel levels 0/1
+		tm := e.Schedule(d, func() {})
+		if i%7 == 0 {
+			tm.Stop()
+		}
+	}
+	e.Schedule(70*time.Second, func() {}) // wheel level 2
+	var tk *Ticker
+	tk = e.Every(33*time.Millisecond, func() {
+		if e.Now() > 2*time.Second {
+			tk.Stop()
+		}
+	})
+	tk2 := e.Every(time.Hour, func() {})
+	e.Schedule(80*time.Second, tk2.Stop)
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", e.Pending())
+	}
+	if e.live != 0 {
+		t.Fatalf("%d pooled events leaked after drain", e.live)
+	}
+}
+
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	e := New(1)
 	b.ReportAllocs()
@@ -258,4 +411,32 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		e.Schedule(time.Duration(i)*time.Nanosecond, func() {})
 	}
 	e.Run()
+}
+
+// Reset from inside the ticker's own callback must not double-arm the
+// tick chain: the in-flight tick re-arms once, at the new cadence.
+func TestTickerResetInsideCallback(t *testing.T) {
+	e := New(1)
+	var times []time.Duration
+	var tk *Ticker
+	tk = e.Every(time.Second, func() {
+		times = append(times, e.Now())
+		if e.Now() == 2*time.Second {
+			tk.Reset(250 * time.Millisecond)
+		}
+	})
+	e.RunUntil(3 * time.Second)
+	want := []time.Duration{
+		1 * time.Second, 2 * time.Second, // old cadence
+		2250 * time.Millisecond, 2500 * time.Millisecond, // new cadence
+		2750 * time.Millisecond, 3 * time.Second,
+	}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v, want %v (double-armed ticker?)", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v (full: %v)", i, times[i], want[i], times)
+		}
+	}
 }

@@ -113,7 +113,7 @@ type Flow struct {
 	// RTT estimation.
 	srtt, rttvar time.Duration
 	rtoBackoff   int
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
 	rtoArmed     bool
 
 	// Receiver state.
@@ -166,9 +166,7 @@ func (f *Flow) Start(totalBytes int64) {
 // Stop halts the sender (e.g. the competing application ends).
 func (f *Flow) Stop() {
 	f.running = false
-	if f.rtoTimer != nil {
-		f.rtoTimer.Stop()
-	}
+	f.rtoTimer.Stop()
 }
 
 // Cwnd exposes the congestion window in packets (for tests).
@@ -423,9 +421,7 @@ func (f *Flow) rto() time.Duration {
 
 // armRTO restarts the timer after forward progress (new cumulative ack).
 func (f *Flow) armRTO() {
-	if f.rtoTimer != nil {
-		f.rtoTimer.Stop()
-	}
+	f.rtoTimer.Stop()
 	f.rtoArmed = false
 	if f.nextSeq == f.cumAck {
 		return // nothing outstanding

@@ -76,6 +76,9 @@ func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement,
 		Prof: prof, eng: eng, mode: opt.Mode,
 		home: map[string]int{}, left: map[string]bool{},
 	}
+	// One media-packet free list serves the whole call: every client and
+	// SFU of a call shares one single-threaded engine.
+	pool := &mpPool{}
 	localNames := make([][]string, len(regions))
 	for ri, r := range regions {
 		names := make([]string, len(r.Clients))
@@ -84,7 +87,7 @@ func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement,
 			c.home[h.Name] = ri
 		}
 		localNames[ri] = names
-		c.Servers = append(c.Servers, newServer(eng, prof, r.Server, names, total))
+		c.Servers = append(c.Servers, newServer(eng, prof, r.Server, names, pool, total))
 	}
 	c.Server = c.Servers[0]
 	// Wire the relay mesh: each server forwards its local origins to every
@@ -101,7 +104,7 @@ func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement,
 	i := 0
 	for ri, r := range regions {
 		for _, h := range r.Clients {
-			cl := newClient(eng, prof, h.Name, h, regions[ri].Server.Name, opt.Seed+int64(i)*7919)
+			cl := newClient(eng, prof, h.Name, h, regions[ri].Server.Name, pool, opt.Seed+int64(i)*7919)
 			c.Clients = append(c.Clients, cl)
 			i++
 		}

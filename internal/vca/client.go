@@ -41,6 +41,17 @@ type Client struct {
 
 	// --- receiver ---
 	recv map[string]*media.Receiver
+	// recvNames mirrors recv's keys in sorted order, maintained on
+	// insert so the 10 Hz feedback and 1 Hz stats ticks iterate without
+	// re-sorting (deterministic and allocation-free).
+	recvNames []string
+
+	// --- hot-path caches ---
+	pool *mpPool // shared per-call media packet free list
+	// flows caches the per-stream accounting labels; flowRtcp is the
+	// feedback label. Building these per packet would allocate.
+	flows    map[string]string
+	flowRtcp string
 
 	// --- instrumentation ---
 	UpMeter   *stats.Meter // bytes this client put on the wire
@@ -60,7 +71,7 @@ type Client struct {
 	running bool
 }
 
-func newClient(eng *sim.Engine, prof *Profile, name string, host *netem.Host, server string, seed int64) *Client {
+func newClient(eng *sim.Engine, prof *Profile, name string, host *netem.Host, server string, pool *mpPool, seed int64) *Client {
 	c := &Client{
 		Name:      name,
 		eng:       eng,
@@ -69,6 +80,9 @@ func newClient(eng *sim.Engine, prof *Profile, name string, host *netem.Host, se
 		server:    server,
 		rng:       rand.New(rand.NewSource(seed)),
 		recv:      map[string]*media.Receiver{},
+		pool:      pool,
+		flows:     map[string]string{},
+		flowRtcp:  prof.Name + "/" + name + "/rtcp",
 		UpMeter:   stats.NewMeter(time.Second),
 		DownMeter: stats.NewMeter(time.Second),
 		Recorder:  webrtcstats.NewRecorder(),
@@ -116,6 +130,10 @@ func (c *Client) Receiver(origin string) *media.Receiver {
 			c.sendSignal(&FIRMsg{From: c.Name, Origin: origin})
 		}
 		c.recv[origin] = r
+		i := sort.SearchStrings(c.recvNames, origin)
+		c.recvNames = append(c.recvNames, "")
+		copy(c.recvNames[i+1:], c.recvNames[i:])
+		c.recvNames[i] = origin
 	}
 	return r
 }
@@ -127,15 +145,15 @@ func (c *Client) start(nominalVideoBps float64) {
 	c.ccUp = c.prof.NewClientCC(nominalVideoBps)
 
 	// Video capture tick (30 Hz).
-	c.tickers = append(c.tickers, c.eng.Every(time.Second/30, c.videoTick))
+	c.tickers = append(c.tickers, c.eng.EveryHandler(time.Second/30, sim.HandlerFunc(c.videoTick)))
 	// Audio: 50 packets/s of 100 B payload = 40 kbps.
-	c.tickers = append(c.tickers, c.eng.Every(time.Second/50, c.audioTick))
+	c.tickers = append(c.tickers, c.eng.EveryHandler(time.Second/50, sim.HandlerFunc(c.audioTick)))
 	// Padding / probing budget (20 ms granularity).
-	c.tickers = append(c.tickers, c.eng.Every(20*time.Millisecond, c.padTick))
+	c.tickers = append(c.tickers, c.eng.EveryHandler(20*time.Millisecond, sim.HandlerFunc(c.padTick)))
 	// Receiver feedback at 100 ms.
-	c.tickers = append(c.tickers, c.eng.Every(100*time.Millisecond, c.feedbackTick))
+	c.tickers = append(c.tickers, c.eng.EveryHandler(100*time.Millisecond, sim.HandlerFunc(c.feedbackTick)))
 	// WebRTC-stats sampling at 1 s (§3.2: per-second granularity).
-	c.tickers = append(c.tickers, c.eng.Every(time.Second, c.statsTick))
+	c.tickers = append(c.tickers, c.eng.EveryHandler(time.Second, sim.HandlerFunc(c.statsTick)))
 }
 
 // stop halts all activity (call teardown).
@@ -159,11 +177,10 @@ func (c *Client) videoTarget() float64 {
 	return t
 }
 
-func (c *Client) videoTick() {
+func (c *Client) videoTick(now time.Duration) {
 	if !c.running {
 		return
 	}
-	now := c.eng.Now()
 	// Random encoder pipeline stalls (Teams-Chrome quirk, §3.2).
 	if now < c.stallUntil {
 		return
@@ -182,7 +199,7 @@ func (c *Client) videoTick() {
 		if c.lowAlloc > 0 {
 			// Meet SFU asked for a reduced low copy (receiver starved).
 			c.simul.Low.SetTarget(c.lowAlloc)
-			c.simul.High.SetTarget(maxf(0, target-c.lowAlloc))
+			c.simul.High.SetTarget(max(0, target-c.lowAlloc))
 			if target-c.lowAlloc < c.prof.SimMinHighBps {
 				c.simul.High.SetTarget(0)
 			}
@@ -214,17 +231,16 @@ func (c *Client) sendFrame(f *codec.Frame) {
 		}
 		remaining -= chunk
 		last := remaining == 0
-		mp := &MediaPacket{
-			Origin:   c.Name,
-			StreamID: f.StreamID,
-			Layer:    f.Layer,
-			SSRC:     1,
-			Seq:      c.seq,
-			FrameSeq: f.FrameSeq,
-			LayerEnd: last,
-			FrameEnd: last && f.Layer == c.topLayer(),
-			Keyframe: f.Keyframe,
-		}
+		mp := c.pool.get()
+		mp.Origin = c.Name
+		mp.StreamID = f.StreamID
+		mp.Layer = f.Layer
+		mp.SSRC = 1
+		mp.Seq = c.seq
+		mp.FrameSeq = f.FrameSeq
+		mp.LayerEnd = last
+		mp.FrameEnd = last && f.Layer == c.topLayer()
+		mp.Keyframe = f.Keyframe
 		if mp.LayerEnd {
 			mp.Params = f.Params
 			mp.HasParams = true
@@ -242,24 +258,22 @@ func (c *Client) topLayer() int {
 	return 0
 }
 
-func (c *Client) audioTick() {
+func (c *Client) audioTick(time.Duration) {
 	if !c.running {
 		return
 	}
-	mp := &MediaPacket{
-		Origin: c.Name, StreamID: "audio", SSRC: 2, Seq: c.seq, Audio: true,
-	}
+	mp := c.pool.get()
+	mp.Origin, mp.StreamID, mp.SSRC, mp.Seq, mp.Audio = c.Name, "audio", 2, c.seq, true
 	c.seq++
 	c.send(mp, 100+wireOverhead)
 }
 
 // padTick emits FEC/probe padding at the controller's requested rate
 // (Zoom's probe bursts, GCC recovery probes).
-func (c *Client) padTick() {
+func (c *Client) padTick(now time.Duration) {
 	if !c.running || c.ccUp == nil {
 		return
 	}
-	now := c.eng.Now()
 	dt := (now - c.lastPad).Seconds()
 	if c.lastPad == 0 {
 		dt = 0.02
@@ -268,22 +282,35 @@ func (c *Client) padTick() {
 	c.padOwed += c.ccUp.PadRateBps(now) / 8 * dt
 	for c.padOwed >= maxPayload {
 		c.padOwed -= maxPayload
-		mp := &MediaPacket{Origin: c.Name, StreamID: "pad", SSRC: 1, Seq: c.seq, Padding: true}
+		mp := c.pool.get()
+		mp.Origin, mp.StreamID, mp.SSRC, mp.Seq, mp.Padding = c.Name, "pad", 1, c.seq, true
 		c.seq++
 		c.send(mp, maxPayload+wireOverhead)
 	}
 }
 
+// flowFor returns the cached accounting label for one of this client's
+// streams.
+func (c *Client) flowFor(stream string) string {
+	f, ok := c.flows[stream]
+	if !ok {
+		f = c.prof.Name + "/" + c.Name + "/" + stream
+		c.flows[stream] = f
+	}
+	return f
+}
+
 func (c *Client) send(mp *MediaPacket, wireBytes int) {
-	mp.OriginSentAt = c.eng.Now()
-	c.UpMeter.AddBytes(c.eng.Now(), wireBytes)
-	c.host.Send(&netem.Packet{
-		Size:    wireBytes,
-		From:    netem.Addr{Host: c.Name, Port: PortMedia},
-		To:      netem.Addr{Host: c.server, Port: PortMedia},
-		Flow:    c.prof.Name + "/" + c.Name + "/" + mp.StreamID,
-		Payload: mp,
-	})
+	now := c.eng.Now()
+	mp.OriginSentAt = now
+	c.UpMeter.AddBytes(now, wireBytes)
+	pkt := c.host.NewPacket()
+	pkt.Size = wireBytes
+	pkt.From = netem.Addr{Host: c.Name, Port: PortMedia}
+	pkt.To = netem.Addr{Host: c.server, Port: PortMedia}
+	pkt.Flow = c.flowFor(mp.StreamID)
+	pkt.Payload = mp
+	c.host.Send(pkt)
 }
 
 func (c *Client) sendSignal(payload any) {
@@ -296,19 +323,22 @@ func (c *Client) sendSignal(payload any) {
 	})
 }
 
-// onMedia handles a forwarded media packet from the SFU.
+// onMedia handles a forwarded media packet from the SFU. The packet's
+// payload is consumed here: it goes back to the call's media pool.
 func (c *Client) onMedia(pkt *netem.Packet) {
-	if !c.running {
-		return
-	}
 	mp, ok := pkt.Payload.(*MediaPacket)
 	if !ok {
 		return
 	}
-	c.DownMeter.AddBytes(c.eng.Now(), pkt.Size)
+	if !c.running {
+		releaseMedia(mp)
+		return
+	}
+	now := c.eng.Now()
+	c.DownMeter.AddBytes(now, pkt.Size)
 	if !mp.Padding && !mp.Audio && mp.FrameEnd {
-		c.latT = append(c.latT, c.eng.Now())
-		c.latV = append(c.latV, c.eng.Now()-mp.OriginSentAt)
+		c.latT = append(c.latT, now)
+		c.latV = append(c.latV, now-mp.OriginSentAt)
 	}
 	sentAt := pkt.SentAt
 	if mp.E2E {
@@ -316,7 +346,8 @@ func (c *Client) onMedia(pkt *netem.Packet) {
 		// path, uplink queueing included (abs-send-time semantics).
 		sentAt = mp.OriginSentAt
 	}
-	c.Receiver(mp.Origin).OnPacket(c.eng.Now(), mp.Info(pkt.Size, sentAt))
+	c.Receiver(mp.Origin).OnPacket(now, mp.Info(pkt.Size, sentAt))
+	releaseMedia(mp)
 }
 
 // onFeedback handles receiver reports about this client's uplink.
@@ -362,20 +393,14 @@ func (c *Client) onSignal(pkt *netem.Packet) {
 }
 
 // feedbackTick aggregates all receive legs into one report to the server.
-func (c *Client) feedbackTick() {
+func (c *Client) feedbackTick(now time.Duration) {
 	if !c.running {
 		return
 	}
-	now := c.eng.Now()
 	var agg media.IntervalStats
 	var expectedSum int
 	var lossWeighted float64
-	names := make([]string, 0, len(c.recv))
-	for name := range c.recv {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range c.recvNames {
 		r := c.recv[name]
 		st := r.Take(now)
 		agg.RateBps += st.RateBps
@@ -394,21 +419,20 @@ func (c *Client) feedbackTick() {
 	if agg.Interval == 0 {
 		agg.Interval = 100 * time.Millisecond
 	}
-	c.host.Send(&netem.Packet{
-		Size:    feedbackWire,
-		From:    netem.Addr{Host: c.Name, Port: PortFeedback},
-		To:      netem.Addr{Host: c.server, Port: PortFeedback},
-		Flow:    c.prof.Name + "/" + c.Name + "/rtcp",
-		Payload: &FeedbackMsg{From: c.Name, Stats: agg},
-	})
+	pkt := c.host.NewPacket()
+	pkt.Size = feedbackWire
+	pkt.From = netem.Addr{Host: c.Name, Port: PortFeedback}
+	pkt.To = netem.Addr{Host: c.server, Port: PortFeedback}
+	pkt.Flow = c.flowRtcp
+	pkt.Payload = &FeedbackMsg{From: c.Name, Stats: agg}
+	c.host.Send(pkt)
 }
 
 // statsTick samples the WebRTC-stats emulation (1 Hz, §3.2).
-func (c *Client) statsTick() {
+func (c *Client) statsTick(now time.Duration) {
 	if !c.running {
 		return
 	}
-	now := c.eng.Now()
 	s := webrtcstats.Sample{T: now - c.startedAt}
 	// Outbound: the main video stream's current parameters.
 	switch c.prof.MediaMode {
@@ -430,12 +454,7 @@ func (c *Client) statsTick() {
 	// padding-only receivers (server probes) carry no params.
 	var frames, bestFrames int
 	var freeze time.Duration
-	names := make([]string, 0, len(c.recv))
-	for name := range c.recv {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range c.recvNames {
 		r := c.recv[name]
 		if r.DisplayedFrames() >= bestFrames && r.LastParams.Width > 0 {
 			bestFrames = r.DisplayedFrames()
@@ -447,13 +466,6 @@ func (c *Client) statsTick() {
 	s.InFramesTotal = frames
 	s.FreezeTime = freeze
 	c.Recorder.Add(s)
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Host exposes the client's network host (for instrumentation).

@@ -56,7 +56,53 @@ type MediaPacket struct {
 
 	Params    codec.EncodeParams
 	HasParams bool
+
+	pool *mpPool // owning free list, nil for literal packets
 }
+
+// mpPool is a single-threaded free list of MediaPacket structs shared by
+// every client and server of one call. The media path creates one
+// MediaPacket per RTP packet at the origin plus one per forwarded copy at
+// each SFU; pooling makes all of that allocation-free. Each packet has
+// exactly one consumer (its netem delivery), which releases it.
+type mpPool struct{ free []*MediaPacket }
+
+func (p *mpPool) get() *MediaPacket {
+	if n := len(p.free) - 1; n >= 0 {
+		mp := p.free[n]
+		p.free = p.free[:n]
+		return mp
+	}
+	return &MediaPacket{pool: p}
+}
+
+func (p *mpPool) put(mp *MediaPacket) {
+	*mp = MediaPacket{pool: p}
+	p.free = append(p.free, mp)
+}
+
+// copyOf returns a pooled copy of mp (the SFU's per-receiver rewrite).
+func (p *mpPool) copyOf(mp *MediaPacket) *MediaPacket {
+	out := p.get()
+	*out = *mp
+	out.pool = p
+	return out
+}
+
+// releaseMedia recycles a pooled media packet at its consumption point;
+// it is a no-op for literal packets (tests, external builders).
+func releaseMedia(mp *MediaPacket) {
+	if mp.pool != nil {
+		mp.pool.put(mp)
+	}
+}
+
+// ReleasePayload implements netem.PayloadReleaser: when the emulator
+// drops the carrying packet before delivery (queue overflow, random
+// loss, unrouteable), the media packet goes back to the pool instead of
+// leaking to the garbage collector — keeping loss-heavy sweeps
+// allocation-free.
+func (m *MediaPacket) ReleasePayload() { releaseMedia(m) }
 
 // Info converts the packet to the receiver-side metadata structure.
 // Audio shares the padding path in media.Receiver: it counts toward rate

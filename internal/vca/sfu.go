@@ -1,6 +1,7 @@
 package vca
 
 import (
+	"strconv"
 	"time"
 
 	"vcalab/internal/cc"
@@ -61,6 +62,13 @@ type Server struct {
 	// feedback loop (Meet/Zoom) can report loss/delay on the relay link.
 	relayRecv map[string]*media.Receiver
 
+	// --- hot-path caches ---
+	pool *mpPool // shared per-call media packet free list
+	// Precomputed accounting labels for the fixed-cadence feedback and
+	// signalling flows.
+	flowRtcpUp, flowRtcpHop, flowRtcpRelay string
+	flowFir, flowAlloc                     string
+
 	tickers []*sim.Ticker
 	running bool
 }
@@ -75,6 +83,9 @@ type leg struct {
 	fwd      map[string]*fwdState
 	padOwed  float64
 	lastPad  time.Duration
+	// flows caches accounting labels per (origin, stream): building the
+	// label per forwarded packet would allocate on the hottest path.
+	flows map[string]map[string]string
 }
 
 // fwdState is the per-(receiver, origin) forwarding state: rewritten
@@ -104,7 +115,7 @@ type rateEst struct {
 // newServer builds the SFU on the given host. clients are the locally homed
 // participants; total is the call-wide participant count (equal to
 // len(clients) in a single-SFU call).
-func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []string, total int) *Server {
+func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []string, pool *mpPool, total int) *Server {
 	s := &Server{
 		Name:      host.Name,
 		eng:       eng,
@@ -119,6 +130,13 @@ func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []strin
 		peerSet:   map[string]bool{},
 		remote:    map[string]string{},
 		relayRecv: map[string]*media.Receiver{},
+
+		pool:          pool,
+		flowRtcpUp:    prof.Name + "/sfu/rtcp-up",
+		flowRtcpHop:   prof.Name + "/relay/rtcp-hop",
+		flowRtcpRelay: prof.Name + "/sfu/rtcp-relay",
+		flowFir:       prof.Name + "/sfu/fir",
+		flowAlloc:     prof.Name + "/sfu/alloc",
 	}
 	s.passthrough = prof.NewServerCC == nil && total == 2
 	for _, c := range clients {
@@ -286,10 +304,10 @@ func (s *Server) Leg(receiver string) cc.Controller {
 
 func (s *Server) start() {
 	s.running = true
-	s.tickers = append(s.tickers, s.eng.Every(100*time.Millisecond, s.controlTick))
-	s.tickers = append(s.tickers, s.eng.Every(20*time.Millisecond, s.padTick))
+	s.tickers = append(s.tickers, s.eng.EveryHandler(100*time.Millisecond, sim.HandlerFunc(s.controlTick)))
+	s.tickers = append(s.tickers, s.eng.EveryHandler(20*time.Millisecond, sim.HandlerFunc(s.padTick)))
 	if s.prof.Kind == KindMeet {
-		s.tickers = append(s.tickers, s.eng.Every(500*time.Millisecond, s.allocTick))
+		s.tickers = append(s.tickers, s.eng.EveryHandler(500*time.Millisecond, sim.HandlerFunc(s.allocTick)))
 	}
 }
 
@@ -314,13 +332,16 @@ func (s *Server) sourcePeer(mp *MediaPacket) string {
 	return ""
 }
 
-// onMedia receives an uplink or relayed packet and forwards it.
+// onMedia receives an uplink or relayed packet and forwards it. The
+// inbound payload is consumed here: every forwarded copy is a fresh
+// pooled packet, so the original returns to the pool on exit.
 func (s *Server) onMedia(pkt *netem.Packet) {
-	if !s.running {
-		return
-	}
 	mp, ok := pkt.Payload.(*MediaPacket)
 	if !ok {
+		return
+	}
+	defer releaseMedia(mp)
+	if !s.running {
 		return
 	}
 	// Arrival accounting. The server does not decode, so every packet is
@@ -391,7 +412,19 @@ func (s *Server) trackRate(mp *MediaPacket, size int) {
 	re.bytes += size
 }
 
-func svcKey(layer int) string { return "svc/" + string(rune('0'+layer)) }
+// svcKeys covers the layer counts any realistic SVC ladder uses without
+// allocating; svcKey falls back to strconv for deeper ladders.
+var svcKeys = [...]string{
+	"svc/0", "svc/1", "svc/2", "svc/3", "svc/4",
+	"svc/5", "svc/6", "svc/7", "svc/8", "svc/9",
+}
+
+func svcKey(layer int) string {
+	if layer >= 0 && layer < len(svcKeys) {
+		return svcKeys[layer]
+	}
+	return "svc/" + strconv.Itoa(layer)
+}
 
 // forward applies per-VCA selection and relays the packet.
 func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
@@ -403,9 +436,9 @@ func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
 		// Pure relay hop (Teams): original sequence numbers and origin
 		// timestamps survive, keeping congestion control end-to-end even
 		// across a cascade of SFUs.
-		out := *mp
+		out := s.pool.copyOf(mp)
 		out.E2E = true
-		s.send(l, &out, size)
+		s.send(l, out, size)
 		return
 	}
 	if mp.Audio {
@@ -454,7 +487,7 @@ func (s *Server) keepFrame(fs *fwdState, mp *MediaPacket) bool {
 // share one sequence space across origins so the downstream SFU can run
 // loss accounting for the whole hop.
 func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo bool) {
-	out := *mp
+	out := s.pool.copyOf(mp)
 	out.Seq = l.nextSeq(fs)
 	if isVideo {
 		out.FrameSeq = fs.frameOut
@@ -467,7 +500,7 @@ func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo b
 			out.FrameEnd = mp.LayerEnd && (mp.Layer == fs.maxLayer || mp.FrameEnd)
 		}
 	}
-	s.send(l, &out, size)
+	s.send(l, out, size)
 
 	if isVideo && s.prof.ServerFECOverhead > 0 {
 		fs.fecOwed += float64(size) * s.prof.ServerFECOverhead
@@ -477,7 +510,8 @@ func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo b
 				n = maxPayload
 			}
 			fs.fecOwed -= float64(n)
-			fec := &MediaPacket{Origin: mp.Origin, StreamID: "fec", Seq: l.nextSeq(fs), Padding: true}
+			fec := s.pool.get()
+			fec.Origin, fec.StreamID, fec.Seq, fec.Padding = mp.Origin, "fec", l.nextSeq(fs), true
 			s.send(l, fec, n+wireOverhead)
 		}
 	}
@@ -496,18 +530,36 @@ func (l *leg) nextSeq(fs *fwdState) uint16 {
 	return seq
 }
 
-func (s *Server) send(l *leg, mp *MediaPacket, size int) {
-	kind := "sfu"
-	if l.relay {
-		kind = "relay"
+// flowFor returns the leg's cached accounting label for (origin, stream).
+func (s *Server) flowFor(l *leg, origin, stream string) string {
+	m := l.flows[origin]
+	if m == nil {
+		if l.flows == nil {
+			l.flows = map[string]map[string]string{}
+		}
+		m = map[string]string{}
+		l.flows[origin] = m
 	}
-	s.host.Send(&netem.Packet{
-		Size:    size,
-		From:    netem.Addr{Host: s.Name, Port: PortMedia},
-		To:      netem.Addr{Host: l.receiver, Port: PortMedia},
-		Flow:    s.prof.Name + "/" + kind + "/" + mp.Origin + "/" + mp.StreamID,
-		Payload: mp,
-	})
+	f, ok := m[stream]
+	if !ok {
+		kind := "sfu"
+		if l.relay {
+			kind = "relay"
+		}
+		f = s.prof.Name + "/" + kind + "/" + origin + "/" + stream
+		m[stream] = f
+	}
+	return f
+}
+
+func (s *Server) send(l *leg, mp *MediaPacket, size int) {
+	pkt := s.host.NewPacket()
+	pkt.Size = size
+	pkt.From = netem.Addr{Host: s.Name, Port: PortMedia}
+	pkt.To = netem.Addr{Host: l.receiver, Port: PortMedia}
+	pkt.Flow = s.flowFor(l, mp.Origin, mp.StreamID)
+	pkt.Payload = mp
+	s.host.Send(pkt)
 }
 
 // onFeedback handles a receiver's (or downstream peer SFU's) aggregate
@@ -539,15 +591,16 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 	// Teams: relay the report end-to-end to every origin the receiver
 	// displays — the far sender does the congestion control (§4.2). In a
 	// cascade this reaches remote origins across the inter-region link,
-	// keeping the loop end-to-end.
+	// keeping the loop end-to-end. The FeedbackMsg itself is shared
+	// across the relayed packets, so it is deliberately not pooled.
 	for _, origin := range s.displayed[fb.From] {
-		s.host.Send(&netem.Packet{
-			Size:    feedbackWire,
-			From:    netem.Addr{Host: s.Name, Port: PortFeedback},
-			To:      netem.Addr{Host: origin, Port: PortFeedback},
-			Flow:    s.prof.Name + "/sfu/rtcp-relay",
-			Payload: fb,
-		})
+		pkt := s.host.NewPacket()
+		pkt.Size = feedbackWire
+		pkt.From = netem.Addr{Host: s.Name, Port: PortFeedback}
+		pkt.To = netem.Addr{Host: origin, Port: PortFeedback}
+		pkt.Flow = s.flowRtcpRelay
+		pkt.Payload = fb
+		s.host.Send(pkt)
 	}
 }
 
@@ -560,22 +613,21 @@ func (s *Server) onSignal(pkt *netem.Packet) {
 	if !ok {
 		return
 	}
-	s.host.Send(&netem.Packet{
-		Size:    firWire,
-		From:    netem.Addr{Host: s.Name, Port: PortSignal},
-		To:      netem.Addr{Host: fir.Origin, Port: PortSignal},
-		Flow:    s.prof.Name + "/sfu/fir",
-		Payload: fir,
-	})
+	out := s.host.NewPacket()
+	out.Size = firWire
+	out.From = netem.Addr{Host: s.Name, Port: PortSignal}
+	out.To = netem.Addr{Host: fir.Origin, Port: PortSignal}
+	out.Flow = s.flowFir
+	out.Payload = fir
+	s.host.Send(out)
 }
 
 // controlTick runs every 100 ms: refresh rate estimates, send uplink and
 // relay-hop feedback, and update every leg's selection state.
-func (s *Server) controlTick() {
+func (s *Server) controlTick(now time.Duration) {
 	if !s.running {
 		return
 	}
-	now := s.eng.Now()
 	// Rate estimator EWMA update (order-free: entries are independent).
 	for _, streams := range s.rates {
 		for _, re := range streams {
@@ -593,13 +645,13 @@ func (s *Server) controlTick() {
 			if st.Interval == 0 {
 				st.Interval = 100 * time.Millisecond
 			}
-			s.host.Send(&netem.Packet{
-				Size:    feedbackWire,
-				From:    netem.Addr{Host: s.Name, Port: PortFeedback},
-				To:      netem.Addr{Host: origin, Port: PortFeedback},
-				Flow:    s.prof.Name + "/sfu/rtcp-up",
-				Payload: &FeedbackMsg{From: s.Name, Stats: st},
-			})
+			pkt := s.host.NewPacket()
+			pkt.Size = feedbackWire
+			pkt.From = netem.Addr{Host: s.Name, Port: PortFeedback}
+			pkt.To = netem.Addr{Host: origin, Port: PortFeedback}
+			pkt.Flow = s.flowRtcpUp
+			pkt.Payload = &FeedbackMsg{From: s.Name, Stats: st}
+			s.host.Send(pkt)
 		}
 		// Per-hop feedback to each upstream peer SFU: the downstream end
 		// of a relay leg reports exactly like a receiver would, so the
@@ -614,13 +666,13 @@ func (s *Server) controlTick() {
 			if st.Interval == 0 {
 				st.Interval = 100 * time.Millisecond
 			}
-			s.host.Send(&netem.Packet{
-				Size:    feedbackWire,
-				From:    netem.Addr{Host: s.Name, Port: PortFeedback},
-				To:      netem.Addr{Host: peer, Port: PortFeedback},
-				Flow:    s.prof.Name + "/relay/rtcp-hop",
-				Payload: &FeedbackMsg{From: s.Name, Stats: st},
-			})
+			pkt := s.host.NewPacket()
+			pkt.Size = feedbackWire
+			pkt.From = netem.Addr{Host: s.Name, Port: PortFeedback}
+			pkt.To = netem.Addr{Host: peer, Port: PortFeedback}
+			pkt.Flow = s.flowRtcpHop
+			pkt.Payload = &FeedbackMsg{From: s.Name, Stats: st}
+			s.host.Send(pkt)
 		}
 	}
 	// Selection per leg, local receivers first, then relay legs.
@@ -677,14 +729,14 @@ func (s *Server) updateSelection(l *leg) {
 					// Even the low copy exceeds the estimate; thin it
 					// rather than starve (keeps Fig 1b's 39-70%
 					// utilization floor behaviour).
-					fs.thinFactor = maxf(0.4, share/lowRate)
+					fs.thinFactor = max(0.4, share/lowRate)
 				}
 				if _, isRemote := s.remote[origin]; isRemote && lowRate < 30_000 && highRate >= 30_000 {
 					// Cascade: the upstream relay narrowed the simulcast
 					// to the high copy only, so thin that instead of
 					// switching to a copy that never arrives.
 					fs.selStream = "sim/high"
-					fs.thinFactor = maxf(0.35, share/highRate)
+					fs.thinFactor = max(0.35, share/highRate)
 				}
 			}
 			if fs.selStream != prev {
@@ -710,7 +762,7 @@ func (s *Server) updateSelection(l *leg) {
 			fs.thinFactor = 1
 			// Base layer still above the estimate: thin temporally.
 			if base := s.rate(origin, svcKey(0)) * (1 + s.prof.ServerFECOverhead); sel == 0 && base > 0 && share < base {
-				fs.thinFactor = maxf(0.35, share/base)
+				fs.thinFactor = max(0.35, share/base)
 			}
 		case KindTeams:
 			fs.thinFactor = s.prof.ForwardFactor(s.n)
@@ -728,11 +780,10 @@ func (s *Server) rate(origin, key string) float64 {
 // padTick emits server-side probe padding per leg (GCC recovery probes on
 // the Meet/Zoom downlink, Fig 5b's fast recovery). Relay legs probe their
 // inter-region hop the same way.
-func (s *Server) padTick() {
+func (s *Server) padTick(now time.Duration) {
 	if !s.running {
 		return
 	}
-	now := s.eng.Now()
 	for _, receiver := range s.legOrder {
 		l := s.legs[receiver]
 		if l.ctrl == nil {
@@ -746,7 +797,8 @@ func (s *Server) padTick() {
 		l.padOwed += l.ctrl.PadRateBps(now) / 8 * dt
 		for l.padOwed >= maxPayload {
 			l.padOwed -= maxPayload
-			mp := &MediaPacket{Origin: s.Name, StreamID: "pad", Padding: true}
+			mp := s.pool.get()
+			mp.Origin, mp.StreamID, mp.Padding = s.Name, "pad", true
 			s.send(l, mp, maxPayload+wireOverhead)
 		}
 	}
@@ -756,7 +808,7 @@ func (s *Server) padTick() {
 // when some receiver cannot even sustain it (§3.1 downlink floor). Only
 // local receivers are consulted; remote starvation is absorbed by the
 // relay leg's own selection.
-func (s *Server) allocTick() {
+func (s *Server) allocTick(time.Duration) {
 	if !s.running {
 		return
 	}
@@ -790,12 +842,12 @@ func (s *Server) allocTick() {
 				alloc = 100_000
 			}
 		}
-		s.host.Send(&netem.Packet{
-			Size:    allocWire,
-			From:    netem.Addr{Host: s.Name, Port: PortSignal},
-			To:      netem.Addr{Host: origin, Port: PortSignal},
-			Flow:    s.prof.Name + "/sfu/alloc",
-			Payload: &AllocMsg{LowBps: alloc},
-		})
+		pkt := s.host.NewPacket()
+		pkt.Size = allocWire
+		pkt.From = netem.Addr{Host: s.Name, Port: PortSignal}
+		pkt.To = netem.Addr{Host: origin, Port: PortSignal}
+		pkt.Flow = s.flowAlloc
+		pkt.Payload = &AllocMsg{LowBps: alloc}
+		s.host.Send(pkt)
 	}
 }

@@ -266,3 +266,17 @@ func TestDeterministicCalls(t *testing.T) {
 		t.Errorf("identical seeds diverged: %v vs %v", a, b)
 	}
 }
+
+// svcKey must be stable for every layer index: the old rune arithmetic
+// ("svc/" + rune('0'+layer)) produced garbage for layer >= 10, which would
+// silently corrupt per-stream rate tracking on deep SVC ladders.
+func TestSVCKeyAllLayers(t *testing.T) {
+	for layer, want := range map[int]string{
+		0: "svc/0", 1: "svc/1", 9: "svc/9",
+		10: "svc/10", 37: "svc/37", 128: "svc/128",
+	} {
+		if got := svcKey(layer); got != want {
+			t.Errorf("svcKey(%d) = %q, want %q", layer, got, want)
+		}
+	}
+}

@@ -150,6 +150,10 @@ type (
 	BandwidthTrace = experiment.BandwidthTrace
 	TraceStep      = experiment.TraceStep
 	TraceResult    = experiment.TraceResult
+	// EngineBenchConfig/EngineBenchResult drive the simulation-engine
+	// benchmark (events/sec, allocs/event, sim-seconds per wall-second).
+	EngineBenchConfig = experiment.EngineBenchConfig
+	EngineBenchResult = experiment.EngineBenchResult
 )
 
 // Directions.
@@ -196,6 +200,7 @@ var (
 	RunModality    = experiment.RunModality
 	RunImpairment  = experiment.RunImpairment
 	RunScale       = experiment.RunScale
+	RunEngineBench = experiment.RunEngineBench
 	RunTrace       = experiment.RunTrace
 	RunTraces      = experiment.RunTraces
 	ModalitySweep  = experiment.ModalitySweep
