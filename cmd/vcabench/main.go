@@ -40,6 +40,7 @@ var (
 	list     = flag.Bool("list", false, "list experiment ids with descriptions and exit")
 	bench    = flag.String("bench", "", "benchmark mode: `scale` (sweep at 1 and NumCPU workers, BENCH_scale.json) or `engine` (events/sec + allocs/event, BENCH_engine.json)")
 	jsonOut  = flag.Bool("json", false, "with -bench: write machine-readable results to BENCH_<mode>.json")
+	check    = flag.Bool("check", false, "with -bench engine: exit non-zero if allocs/event exceeds 0.1 or events/s regresses >20% vs the recorded baseline (the CI bench-regression gate)")
 )
 
 // experimentDef is one runnable artifact; the registry is the single
@@ -408,20 +409,24 @@ func benchScale() {
 	}
 }
 
-// engineBaseline is the engine benchmark recorded on the pre-refactor
-// engine (binary container/heap, closure events, per-tick allocations) at
-// commit ffac68f, on the same workload benchEngine runs (Teams, 24
-// participants, 3 regions, 20 Mbps inter, 30 s). It is the yardstick
-// BENCH_engine.json compares against.
+// engineBaseline is the engine benchmark recorded on the string-keyed
+// routing implementation (map[string] dispatch for legs/rates/receivers,
+// sort-based rolling medians) at commit f1ad427, on the same workloads
+// benchEngine runs: the Teams 24p/3r/20Mbps 30s cascaded call, the bare
+// scheduler micro, and the Meet 16-party routing micro. It is the
+// yardstick BENCH_engine.json and the -check regression gate compare
+// against.
 var engineBaseline = vcalab.EngineBenchResult{
 	Events:                  2821228,
-	WallSeconds:             1.60,
-	EventsPerSecond:         1761000,
-	AllocsPerEvent:          4.31,
-	BytesPerEvent:           172.9,
-	SimSecondsPerWallSecond: 18.7,
-	MicroEventsPerSecond:    5335000,
-	MicroAllocsPerEvent:     2.00,
+	WallSeconds:             0.672,
+	EventsPerSecond:         4200172,
+	AllocsPerEvent:          0.0187,
+	BytesPerEvent:           2.29,
+	SimSecondsPerWallSecond: 44.7,
+	MicroEventsPerSecond:    12325763,
+	MicroAllocsPerEvent:     1e-6,
+	RouteEventsPerSecond:    4678939,
+	RouteAllocsPerEvent:     0.0389,
 }
 
 // benchEngine measures the simulation engine itself — events/sec,
@@ -439,19 +444,22 @@ func benchEngine() {
 		cur.Events, cur.WallSeconds, cur.EventsPerSecond, cur.AllocsPerEvent, cur.SimSecondsPerWallSecond)
 	fmt.Printf("engine micro: %9.0f events/s  %5.2f allocs/event\n",
 		cur.MicroEventsPerSecond, cur.MicroAllocsPerEvent)
+	fmt.Printf("routing micro:%9.0f events/s  %5.2f allocs/event\n",
+		cur.RouteEventsPerSecond, cur.RouteAllocsPerEvent)
 	if engineBaseline.EventsPerSecond > 0 {
-		fmt.Printf("vs baseline:  %.2fx events/s  %.2fx allocs/event  %.2fx sim-s/wall-s\n",
+		fmt.Printf("vs baseline:  %.2fx events/s  %.2fx allocs/event  %.2fx sim-s/wall-s  %.2fx routing events/s\n",
 			cur.EventsPerSecond/engineBaseline.EventsPerSecond,
 			cur.AllocsPerEvent/engineBaseline.AllocsPerEvent,
-			cur.SimSecondsPerWallSecond/engineBaseline.SimSecondsPerWallSecond)
+			cur.SimSecondsPerWallSecond/engineBaseline.SimSecondsPerWallSecond,
+			cur.RouteEventsPerSecond/engineBaseline.RouteEventsPerSecond)
 	}
 
 	if *jsonOut {
 		out := struct {
 			Workload string                   `json:"workload"`
-			Baseline vcalab.EngineBenchResult `json:"baseline_pre_refactor"`
+			Baseline vcalab.EngineBenchResult `json:"baseline_string_keyed_routing"`
 			Current  vcalab.EngineBenchResult `json:"current"`
-		}{"teams 24p/3r/20Mbps 30s cascaded call + scheduler micro", engineBaseline, cur}
+		}{"teams 24p/3r/20Mbps 30s cascaded call + scheduler micro + meet 16p routing micro", engineBaseline, cur}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "marshal bench results: %v\n", err)
@@ -462,5 +470,33 @@ func benchEngine() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_engine.json")
+	}
+
+	if *check {
+		failed := false
+		if cur.AllocsPerEvent > 0.1 {
+			fmt.Fprintf(os.Stderr, "bench check FAIL: %.4f allocs/event exceeds the 0.1 budget\n", cur.AllocsPerEvent)
+			failed = true
+		}
+		// The throughput gate compares like against like: -quick shrinks
+		// the workload, so only the full workload is held to the recorded
+		// baseline. The baseline is rescaled by the bare-scheduler micro
+		// ratio measured in this same run — the micro contains no protocol
+		// work, so it moves with the hardware while a routing regression
+		// moves only the macro — making the gate portable to slower CI
+		// runners without loosening the 20% budget.
+		if !*quick {
+			hw := cur.MicroEventsPerSecond / engineBaseline.MicroEventsPerSecond
+			want := 0.8 * engineBaseline.EventsPerSecond * hw
+			if cur.EventsPerSecond < want {
+				fmt.Fprintf(os.Stderr, "bench check FAIL: %.0f events/s regresses >20%% vs baseline %.0f (hardware-normalized to %.0f)\n",
+					cur.EventsPerSecond, engineBaseline.EventsPerSecond, want/0.8)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("bench check ok")
 	}
 }

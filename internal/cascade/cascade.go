@@ -87,8 +87,11 @@ type Mesh struct {
 	// Routers are the regional routers.
 	Routers []*netem.Router
 
-	topo  Topology
-	inter map[[2]int]*netem.Link
+	topo Topology
+	// inter is the dense directed link matrix: inter[i][j] is the region
+	// i → region j link (nil on the diagonal). Index-addressed like the
+	// call's routing tables, so placement code never hashes a key.
+	inter [][]*netem.Link
 	pairs [][2]int // deterministic iteration order over inter links
 }
 
@@ -98,7 +101,10 @@ func Build(eng *sim.Engine, topo Topology) *Mesh {
 	if len(topo.Regions) == 0 {
 		panic("cascade: topology needs at least one region")
 	}
-	m := &Mesh{Eng: eng, topo: topo, inter: map[[2]int]*netem.Link{}}
+	m := &Mesh{Eng: eng, topo: topo, inter: make([][]*netem.Link, len(topo.Regions))}
+	for i := range m.inter {
+		m.inter[i] = make([]*netem.Link, len(topo.Regions))
+	}
 	for _, r := range topo.Regions {
 		m.Routers = append(m.Routers, netem.NewRouter("rt-"+r.Name))
 	}
@@ -117,7 +123,7 @@ func Build(eng *sim.Engine, topo Topology) *Mesh {
 			}
 			name := "inter/" + topo.Regions[i].Name + "-" + topo.Regions[j].Name
 			l := netem.NewLink(eng, name, cfg, m.Routers[j])
-			m.inter[[2]int{i, j}] = l
+			m.inter[i][j] = l
 			m.pairs = append(m.pairs, [2]int{i, j})
 		}
 	}
@@ -154,19 +160,19 @@ func (m *Mesh) routeRemote(ri int, host string) {
 		if q == ri {
 			continue
 		}
-		m.Routers[q].Route(host, m.inter[[2]int{q, ri}])
+		m.Routers[q].Route(host, m.inter[q][ri])
 	}
 }
 
 // InterLink returns the directed link from region i to region j.
-func (m *Mesh) InterLink(i, j int) *netem.Link { return m.inter[[2]int{i, j}] }
+func (m *Mesh) InterLink(i, j int) *netem.Link { return m.inter[i][j] }
 
 // InterLinks returns every directed inter-region link in a deterministic
 // order (ascending (from, to)).
 func (m *Mesh) InterLinks() []*netem.Link {
 	out := make([]*netem.Link, 0, len(m.pairs))
 	for _, p := range m.pairs {
-		out = append(out, m.inter[p])
+		out = append(out, m.inter[p[0]][p[1]])
 	}
 	return out
 }
@@ -176,7 +182,7 @@ func (m *Mesh) InterLinks() []*netem.Link {
 // for the WAN mesh.
 func (m *Mesh) SetInterRate(bps float64) {
 	for _, p := range m.pairs {
-		l := m.inter[p]
+		l := m.inter[p[0]][p[1]]
 		l.SetRate(bps)
 		if bps > 0 {
 			l.SetQueueBytes(netem.DefaultQueueBytes(bps))

@@ -13,8 +13,11 @@ import (
 
 // EngineBenchConfig drives the engine benchmark: a full cascaded call
 // measured on a single engine (the macro workload, dominated by the
-// packet path), plus a bare-scheduler microbenchmark (one-shot event
-// chains and periodic tickers with no protocol work).
+// packet path), a bare-scheduler microbenchmark (one-shot event chains
+// and periodic tickers with no protocol work), and a routing
+// micro-workload (a dense single-SFU call on unconstrained links, so the
+// SFU's per-packet fan-out — the participant-ID routing tables — is the
+// entire profile).
 type EngineBenchConfig struct {
 	Profile      *vca.Profile
 	Participants int           // default 24
@@ -25,6 +28,10 @@ type EngineBenchConfig struct {
 	// MicroEvents is the number of one-shot chain events driven through
 	// the bare engine in the microbenchmark (default 2,000,000).
 	MicroEvents int
+	// RouteParticipants sizes the routing micro-workload's single-SFU
+	// call (default 16); RouteDur is its simulated length (default 10s).
+	RouteParticipants int
+	RouteDur          time.Duration
 }
 
 func (c *EngineBenchConfig) defaults() {
@@ -43,6 +50,12 @@ func (c *EngineBenchConfig) defaults() {
 	if c.MicroEvents == 0 {
 		c.MicroEvents = 2_000_000
 	}
+	if c.RouteParticipants == 0 {
+		c.RouteParticipants = 16
+	}
+	if c.RouteDur == 0 {
+		c.RouteDur = 10 * time.Second
+	}
 }
 
 // EngineBenchResult reports the engine's throughput and allocation
@@ -58,6 +71,9 @@ type EngineBenchResult struct {
 
 	MicroEventsPerSecond float64 `json:"micro_events_per_second"`
 	MicroAllocsPerEvent  float64 `json:"micro_allocs_per_event"`
+
+	RouteEventsPerSecond float64 `json:"route_events_per_second"`
+	RouteAllocsPerEvent  float64 `json:"route_allocs_per_event"`
 }
 
 // RunEngineBench measures the simulation engine on one cascaded call plus
@@ -131,6 +147,36 @@ func RunEngineBench(cfg EngineBenchConfig) EngineBenchResult {
 	if ev := me.Processed(); ev > 0 {
 		res.MicroEventsPerSecond = float64(ev) / microWall.Seconds()
 		res.MicroAllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(ev)
+	}
+
+	// --- routing micro: dense single-SFU fan-out, unconstrained links ---
+	// With no serialization or queueing, almost every event is a packet
+	// arrival or departure, and the SFU's forward path (participant-ID
+	// table lookups, fan-out, per-leg rewrite) dominates the profile —
+	// the workload the dense routing tables exist for. Meet exercises the
+	// richest path (simulcast selection + rate tracking + allocation).
+	re := sim.New(cfg.Seed)
+	rt := netem.NewRouter("rt")
+	sfuHost := netem.NewHost(re, "sfu")
+	netem.Attach(re, sfuHost, rt, netem.LinkConfig{Delay: time.Millisecond})
+	var hosts []*netem.Host
+	for i := 0; i < cfg.RouteParticipants; i++ {
+		h := netem.NewHost(re, fmt.Sprintf("c%d", i+1))
+		netem.Attach(re, h, rt, netem.LinkConfig{Delay: time.Millisecond})
+		hosts = append(hosts, h)
+	}
+	routeCall := vca.NewCall(re, vca.Meet(), sfuHost, hosts, vca.CallOptions{Seed: cfg.Seed})
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start = time.Now()
+	routeCall.Start()
+	re.RunUntil(cfg.RouteDur)
+	routeCall.Stop()
+	routeWall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if ev := re.Processed(); ev > 0 {
+		res.RouteEventsPerSecond = float64(ev) / routeWall.Seconds()
+		res.RouteAllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(ev)
 	}
 	return res
 }

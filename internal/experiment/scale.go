@@ -167,10 +167,8 @@ func (cfg *ScaleConfig) runTrial(n int, interMbps float64, rep int) scaleTrial {
 	if freezeN > 0 {
 		t.freeze = freezeSum / float64(freezeN)
 	}
-	if len(lats) > 0 {
-		t.p50Ms = stats.Percentile(lats, 50)
-		t.p95Ms = stats.Percentile(lats, 95)
-		t.p99Ms = stats.Percentile(lats, 99)
+	if lp := stats.SortedPercentiles(lats, 50, 95, 99); lp != nil {
+		t.p50Ms, t.p95Ms, t.p99Ms = lp[0], lp[1], lp[2]
 	}
 	return t
 }

@@ -1,0 +1,157 @@
+package stats
+
+// MedianWindow maintains the median of a sliding multiset of float64
+// samples in O(log n) amortized time per update, using the classic
+// dual-heap arrangement with lazy deletion: a max-heap holds the lower
+// half, a min-heap the upper half, and expired samples are tombstoned in a
+// count map until they surface at a heap top. This replaces the O(w log w)
+// sort the naive rolling median paid per emitted point.
+//
+// The zero value is ready to use. Values must not be NaN (ordering would
+// be undefined); the vcalab pipeline only feeds it bitrates and latencies.
+type MedianWindow struct {
+	lo, hi  heapF64         // lo: max-heap (lower half), hi: min-heap (upper half)
+	deleted map[float64]int // value -> pending lazy deletions
+	nLo     int             // live (non-tombstoned) samples in lo
+	nHi     int             // live samples in hi
+}
+
+// Len returns the number of live samples in the window.
+func (m *MedianWindow) Len() int { return m.nLo + m.nHi }
+
+// Push adds one sample.
+func (m *MedianWindow) Push(v float64) {
+	if m.nLo == 0 || v <= m.lo.top() {
+		m.lo.push(v, true)
+		m.nLo++
+	} else {
+		m.hi.push(v, false)
+		m.nHi++
+	}
+	m.rebalance()
+}
+
+// Remove expires one sample previously Pushed (the window's trailing
+// edge). The physical heap entry is tombstoned and evicted only when it
+// reaches a heap top, keeping removal O(log n) amortized.
+func (m *MedianWindow) Remove(v float64) {
+	if m.deleted == nil {
+		m.deleted = map[float64]int{}
+	}
+	m.deleted[v]++
+	if m.nLo > 0 && v <= m.lo.top() {
+		m.nLo--
+		if v == m.lo.top() {
+			m.prune(&m.lo, true)
+		}
+	} else {
+		m.nHi--
+		if len(m.hi.s) > 0 && v == m.hi.top() {
+			m.prune(&m.hi, false)
+		}
+	}
+	m.rebalance()
+}
+
+// Median returns the window median, computed exactly as
+// Percentile(window, 50) would: the middle sample for odd counts, the
+// linear interpolation of the two middle samples for even counts. It
+// returns 0 for an empty window.
+func (m *MedianWindow) Median() float64 {
+	switch {
+	case m.Len() == 0:
+		return 0
+	case m.nLo > m.nHi:
+		return m.lo.top()
+	default:
+		// Match Percentile's sorted[lo]*(1-frac) + sorted[lo+1]*frac with
+		// frac = 0.5 bit-for-bit.
+		return m.lo.top()*0.5 + m.hi.top()*0.5
+	}
+}
+
+// rebalance restores the size invariant nLo == nHi or nLo == nHi+1.
+func (m *MedianWindow) rebalance() {
+	if m.nLo > m.nHi+1 {
+		m.prune(&m.lo, true)
+		m.hi.push(m.lo.pop(true), false)
+		m.nLo--
+		m.nHi++
+		m.prune(&m.lo, true)
+	} else if m.nLo < m.nHi {
+		m.prune(&m.hi, false)
+		m.lo.push(m.hi.pop(false), true)
+		m.nHi--
+		m.nLo++
+		m.prune(&m.hi, false)
+	}
+}
+
+// prune pops tombstoned entries off the heap top until a live sample (or
+// an empty heap) surfaces.
+func (m *MedianWindow) prune(h *heapF64, maxHeap bool) {
+	for len(h.s) > 0 {
+		n, ok := m.deleted[h.top()]
+		if !ok || n == 0 {
+			return
+		}
+		if n == 1 {
+			delete(m.deleted, h.top())
+		} else {
+			m.deleted[h.top()] = n - 1
+		}
+		h.pop(maxHeap)
+	}
+}
+
+// heapF64 is a binary heap of float64 with the polarity chosen per call,
+// avoiding the container/heap interface (and its per-op allocations) on
+// this hot kernel.
+type heapF64 struct{ s []float64 }
+
+func (h *heapF64) top() float64 { return h.s[0] }
+
+// less orders a before b for the requested polarity.
+func heapLess(a, b float64, maxHeap bool) bool {
+	if maxHeap {
+		return a > b
+	}
+	return a < b
+}
+
+func (h *heapF64) push(v float64, maxHeap bool) {
+	h.s = append(h.s, v)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h.s[i], h.s[parent], maxHeap) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
+}
+
+func (h *heapF64) pop(maxHeap bool) float64 {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && heapLess(h.s[l], h.s[best], maxHeap) {
+			best = l
+		}
+		if r < last && heapLess(h.s[r], h.s[best], maxHeap) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.s[i], h.s[best] = h.s[best], h.s[i]
+		i = best
+	}
+	return top
+}

@@ -37,14 +37,21 @@ func (s Series) Slice(from, to time.Duration) Series {
 // RollingMedian returns a new series where each point is the median of the
 // samples within the trailing window ending at that point. This is the
 // paper's "five-second rolling median bitrate".
+//
+// Each point costs O(log w) for a w-sample window (a MedianWindow absorbs
+// the slide incrementally), instead of the O(w log w) sort the naive
+// formulation pays; the emitted values are identical.
 func (s Series) RollingMedian(window time.Duration) Series {
 	out := Series{Times: make([]time.Duration, 0, s.Len()), Values: make([]float64, 0, s.Len())}
+	var mw MedianWindow
 	start := 0
 	for i := range s.Times {
 		for s.Times[start] < s.Times[i]-window {
+			mw.Remove(s.Values[start])
 			start++
 		}
-		out.Add(s.Times[i], Median(s.Values[start:i+1]))
+		mw.Push(s.Values[i])
+		out.Add(s.Times[i], mw.Median())
 	}
 	return out
 }
@@ -110,13 +117,23 @@ func (m *Meter) MeanRateMbps(from, to time.Duration) float64 {
 func Median(vs []float64) float64 { return Percentile(vs, 50) }
 
 // Percentile returns the p-th percentile (0–100) using linear interpolation
-// between closest ranks. Returns 0 for empty input.
+// between closest ranks. Returns 0 for empty input. Already-sorted input
+// is detected in O(n) and used directly — no copy, no re-sort; unsorted
+// input is copied and never mutated.
 func Percentile(vs []float64, p float64) float64 {
 	if len(vs) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), vs...)
-	sort.Float64s(sorted)
+	sorted := vs
+	if !sort.Float64sAreSorted(vs) {
+		sorted = append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+	}
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile's kernel over pre-sorted data.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -130,6 +147,22 @@ func Percentile(vs []float64, p float64) float64 {
 		return sorted[lo]
 	}
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// SortedPercentiles sorts vs in place once and returns the requested
+// percentiles, so callers needing several quantiles of one sample (the
+// scale sweep's p50/p95/p99 latencies) pay a single sort instead of one
+// copy-and-sort per quantile. Returns nil for empty input.
+func SortedPercentiles(vs []float64, ps ...float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	sort.Float64s(vs)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(vs, p)
+	}
+	return out
 }
 
 // Mean returns the arithmetic mean (0 for empty input).

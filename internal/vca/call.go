@@ -36,6 +36,10 @@ type CascadePlacement struct {
 // Call wires N clients and one or more SFUs into a conference and manages
 // its lifecycle. Topology (hosts, links, shaping) is owned by the caller;
 // the Call only attaches protocol machinery to hosts.
+//
+// The Call owns the participant identity registry: every client and SFU
+// name is interned to a dense ID at build time, and all layout and churn
+// bookkeeping below runs on those IDs.
 type Call struct {
 	Prof    *Profile
 	Clients []*Client
@@ -45,10 +49,21 @@ type Call struct {
 	Servers []*Server
 
 	eng     *sim.Engine
+	reg     *registry
 	mode    ViewMode
-	home    map[string]int // client name -> region index
-	left    map[string]bool
+	home    []int32         // participant ID -> region index
+	left    map[string]bool // by name: a left participant's ID is recycled
 	started bool
+
+	// want/wantIDs are the relay-subscription scratch set, hoisted onto
+	// the call and cleared in place per use so applyRelayLayout allocates
+	// nothing per region pair.
+	want    []bool
+	wantIDs []int32
+
+	// displayedScratch backs the per-receiver displayed sets built by
+	// applyLayout; one flat slab, resliced per layout pass.
+	displayedScratch []int32
 }
 
 // NewCall creates a call between the given client hosts through the server
@@ -74,20 +89,35 @@ func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement,
 	}
 	c := &Call{
 		Prof: prof, eng: eng, mode: opt.Mode,
-		home: map[string]int{}, left: map[string]bool{},
+		reg: newRegistry(), left: map[string]bool{},
+	}
+	// Intern every participant, then every SFU: participant IDs come out
+	// dense in join order, and all tables size to their final density at
+	// construction.
+	localIDs := make([][]int32, len(regions))
+	for ri, r := range regions {
+		ids := make([]int32, len(r.Clients))
+		for i, h := range r.Clients {
+			ids[i] = c.reg.intern(h.Name, false)
+		}
+		localIDs[ri] = ids
+	}
+	for _, r := range regions {
+		c.reg.intern(r.Server.Name, true)
+	}
+	c.home = make([]int32, c.reg.cap())
+	for ri, ids := range localIDs {
+		for _, id := range ids {
+			c.home[id] = int32(ri)
+		}
 	}
 	// One media-packet free list serves the whole call: every client and
 	// SFU of a call shares one single-threaded engine.
 	pool := &mpPool{}
-	localNames := make([][]string, len(regions))
 	for ri, r := range regions {
-		names := make([]string, len(r.Clients))
-		for i, h := range r.Clients {
-			names[i] = h.Name
-			c.home[h.Name] = ri
-		}
-		localNames[ri] = names
-		c.Servers = append(c.Servers, newServer(eng, prof, r.Server, names, pool, total))
+		s := newServer(eng, prof, r.Server, c.reg, localIDs[ri], pool, total)
+		c.home[s.id] = int32(ri)
+		c.Servers = append(c.Servers, s)
 	}
 	c.Server = c.Servers[0]
 	// Wire the relay mesh: each server forwards its local origins to every
@@ -97,14 +127,14 @@ func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement,
 			if i == j {
 				continue
 			}
-			si.addRelayLeg(sj.Name, localNames[i])
-			sj.addRemoteOrigins(si.Name, localNames[i])
+			si.addRelayLeg(sj.id, localIDs[i])
+			sj.addRemoteOrigins(si.id, localIDs[i])
 		}
 	}
 	i := 0
 	for ri, r := range regions {
 		for _, h := range r.Clients {
-			cl := newClient(eng, prof, h.Name, h, regions[ri].Server.Name, pool, opt.Seed+int64(i)*7919)
+			cl := newClient(eng, prof, h.Name, h, c.reg, regions[ri].Server.Name, ri, pool, opt.Seed+int64(i)*7919)
 			c.Clients = append(c.Clients, cl)
 			i++
 		}
@@ -141,8 +171,12 @@ func (c *Call) clientByName(name string) *Client {
 func (c *Call) applyLayout(mode ViewMode) {
 	active := c.active()
 	n := len(active)
+	scratch := c.displayedScratch[:0]
+	if cap(scratch) < n*n {
+		scratch = make([]int32, 0, n*n)
+	}
 	for i, cl := range active {
-		var displayed []string
+		start := len(scratch)
 		tiles := c.Prof.VisibleTiles(n)
 		for j, other := range active {
 			if j == i {
@@ -150,15 +184,16 @@ func (c *Call) applyLayout(mode ViewMode) {
 			}
 			if mode == Speaker {
 				// Pinned participant always displayed; others as thumbs.
-				displayed = append(displayed, other.Name)
+				scratch = append(scratch, other.id)
 				continue
 			}
-			if len(displayed) < tiles {
-				displayed = append(displayed, other.Name)
+			if len(scratch)-start < tiles {
+				scratch = append(scratch, other.id)
 			}
 		}
-		c.Servers[c.home[cl.Name]].SetDisplayed(cl.Name, displayed)
+		c.Servers[cl.region].setDisplayedIDs(cl.id, scratch[start:len(scratch):len(scratch)])
 	}
+	c.displayedScratch = scratch
 	for i, cl := range active {
 		cl.SetTierBps(c.senderBudget(mode, n, i == 0))
 	}
@@ -172,29 +207,36 @@ func (c *Call) applyRelayLayout(active []*Client) {
 	if len(c.Servers) < 2 {
 		return
 	}
+	if len(c.want) < c.reg.cap() {
+		c.want = make([]bool, c.reg.cap())
+	}
 	for i, si := range c.Servers {
 		for j, sj := range c.Servers {
 			if i == j {
 				continue
 			}
-			want := map[string]bool{}
+			for _, id := range c.wantIDs {
+				c.want[id] = false
+			}
+			c.wantIDs = c.wantIDs[:0]
 			for _, cl := range active {
-				if c.home[cl.Name] != j {
+				if cl.region != j {
 					continue
 				}
-				for _, o := range sj.Displayed(cl.Name) {
-					if c.home[o] == i {
-						want[o] = true
+				for _, o := range sj.displayed[cl.id] {
+					if c.home[o] == int32(i) && !c.want[o] {
+						c.want[o] = true
+						c.wantIDs = append(c.wantIDs, o)
 					}
 				}
 			}
-			var origins []string
+			var origins []int32
 			for _, cl := range c.Clients {
-				if want[cl.Name] {
-					origins = append(origins, cl.Name)
+				if cl.id != noID && c.want[cl.id] {
+					origins = append(origins, cl.id)
 				}
 			}
-			si.SetDisplayed(sj.Name, origins)
+			si.setDisplayedIDs(sj.id, origins)
 		}
 	}
 }
@@ -250,8 +292,10 @@ func (c *Call) Stop() {
 
 // Leave removes the named client from the call mid-flight. Every server
 // drops its per-client state (uplink receiver, rate estimators, legs,
-// forwarding entries), the layout re-flows for the remaining
-// participants, and the host stays wired for a later Rejoin.
+// forwarding entries), every remaining client releases its receiver slot,
+// the layout re-flows for the remaining participants, and the host stays
+// wired for a later Rejoin. The departing participant's ID goes back to
+// the registry's free list, keeping the tables dense under churn.
 func (c *Call) Leave(name string) {
 	cl := c.clientByName(name)
 	if cl == nil || c.left[name] {
@@ -261,40 +305,70 @@ func (c *Call) Leave(name string) {
 	if c.started {
 		cl.stop()
 	}
+	id := cl.id
 	n := len(c.active())
 	for i, s := range c.Servers {
-		if i == c.home[name] {
-			s.removeClient(name)
+		if i == cl.region {
+			s.removeClient(id)
 		} else {
-			s.removeRemoteOrigin(name)
+			s.removeRemoteOrigin(id)
 		}
 		s.setTotal(n)
 	}
+	for _, other := range c.Clients {
+		if other != cl {
+			other.dropOrigin(id)
+		}
+	}
+	cl.clearRecv()
+	c.reg.release(name)
+	cl.id = noID
 	c.applyLayout(c.mode)
 }
 
-// Rejoin re-attaches a client that previously left. Server state is
-// recreated from scratch (fresh receivers, rate estimators and forwarding
-// legs), the layout re-flows, and the client restarts its media if the
-// call is live.
+// Rejoin re-attaches a client that previously left. The client draws a
+// (possibly recycled) ID from the registry; every table slot that ID
+// indexes is reset first, so it can never inherit a departed
+// participant's state. Server state is recreated from scratch, the layout
+// re-flows, and the client restarts its media if the call is live.
 func (c *Call) Rejoin(name string) {
 	cl := c.clientByName(name)
 	if cl == nil || !c.left[name] {
 		return
 	}
 	delete(c.left, name)
+	id := c.reg.intern(name, false)
+	c.resetSlot(id)
+	cl.id = id
+	for int(id) >= len(c.home) {
+		c.home = append(c.home, 0)
+	}
+	c.home[id] = int32(cl.region)
 	n := len(c.active())
 	for i, s := range c.Servers {
-		if i == c.home[name] {
-			s.addClient(name)
+		if i == cl.region {
+			s.addClient(id)
 		} else {
-			s.addRemoteOrigin(c.Servers[c.home[name]].Name, name)
+			s.addRemoteOrigin(c.Servers[cl.region].id, id)
 		}
 		s.setTotal(n)
 	}
 	c.applyLayout(c.mode)
 	if c.started {
 		cl.start(cl.TierBps())
+	}
+}
+
+// resetSlot clears every table entry a recycled ID indexes across all
+// servers and clients before the ID is reused.
+func (c *Call) resetSlot(id int32) {
+	for _, s := range c.Servers {
+		s.resetSlot(id)
+	}
+	for _, cl := range c.Clients {
+		if cl.id != id {
+			cl.dropOrigin(id)
+		}
 	}
 }
 
@@ -306,8 +380,14 @@ func (c *Call) Active(name string) bool {
 // C1 returns the instrumented client (client 0).
 func (c *Call) C1() *Client { return c.Clients[0] }
 
-// HomeServer returns the SFU the named client is homed on.
-func (c *Call) HomeServer(name string) *Server { return c.Servers[c.home[name]] }
+// HomeServer returns the SFU the named client is homed on (region 0's
+// for unknown names, matching the old map-default behaviour).
+func (c *Call) HomeServer(name string) *Server {
+	if cl := c.clientByName(name); cl != nil {
+		return c.Servers[cl.region]
+	}
+	return c.Servers[0]
+}
 
 // String identifies the call.
 func (c *Call) String() string {

@@ -20,30 +20,69 @@ func fiveParty(eng *sim.Engine, prof *Profile) *Call {
 }
 
 // serverState counts every per-client entry the SFU holds for a name.
+// A released name has no live ID, and a live ID's slots are what the
+// leave path must have cleared — both count as zero state.
 func serverState(s *Server, name string) int {
+	id := s.reg.id(name)
+	if id == noID {
+		return 0
+	}
 	n := 0
-	if _, ok := s.upRecv[name]; ok {
+	if s.upRecv[id] != nil {
 		n++
 	}
-	if _, ok := s.rates[name]; ok {
+	if s.rates[id] != nil {
 		n++
 	}
-	if _, ok := s.legs[name]; ok {
+	if s.legs[id] != nil {
 		n++
 	}
-	if _, ok := s.displayed[name]; ok {
+	if s.displayed[id] != nil {
 		n++
 	}
-	if _, ok := s.remote[name]; ok {
+	if s.remote[id] != noID {
 		n++
 	}
-	for _, l := range s.legs {
-		if _, ok := l.fwd[name]; ok {
+	for _, rid := range s.legOrder {
+		if l := s.legs[rid]; l != nil && l.fwd[id] != nil {
 			n++
 		}
 	}
 	for _, c := range s.clients {
-		if c == name {
+		if c == id {
+			n++
+		}
+	}
+	return n
+}
+
+// legCount reports how many legs the server currently holds.
+func legCount(s *Server) int {
+	n := 0
+	for _, l := range s.legs {
+		if l != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// rateRows reports how many origins have live rate-estimator rows.
+func rateRows(s *Server) int {
+	n := 0
+	for _, row := range s.rates {
+		if row != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// upRecvCount reports how many local uplink receivers the server holds.
+func upRecvCount(s *Server) int {
+	n := 0
+	for _, r := range s.upRecv {
+		if r != nil {
 			n++
 		}
 	}
@@ -66,9 +105,9 @@ func TestLeaveCleansServerState(t *testing.T) {
 	if n := serverState(s, "c3"); n != 0 {
 		t.Errorf("server retains %d state entries for departed c3", n)
 	}
-	if len(s.clients) != 4 || len(s.legs) != 4 || len(s.rates) != 4 || len(s.upRecv) != 4 {
+	if len(s.clients) != 4 || legCount(s) != 4 || rateRows(s) != 4 || upRecvCount(s) != 4 {
 		t.Errorf("server sizes after leave: clients=%d legs=%d rates=%d upRecv=%d, want 4 each",
-			len(s.clients), len(s.legs), len(s.rates), len(s.upRecv))
+			len(s.clients), legCount(s), rateRows(s), upRecvCount(s))
 	}
 
 	// The call keeps flowing for the remaining participants…
@@ -116,9 +155,9 @@ func TestRejoinRestoresMedia(t *testing.T) {
 		t.Error("rejoined c4 receives no media")
 	}
 	// Leave/rejoin cycles must not grow server state (the churn leak).
-	if len(call.Server.rates) != 5 || len(call.Server.upRecv) != 5 {
-		t.Errorf("server map sizes after rejoin: rates=%d upRecv=%d, want 5",
-			len(call.Server.rates), len(call.Server.upRecv))
+	if rateRows(call.Server) != 5 || upRecvCount(call.Server) != 5 {
+		t.Errorf("server table sizes after rejoin: rates=%d upRecv=%d, want 5",
+			rateRows(call.Server), upRecvCount(call.Server))
 	}
 }
 
@@ -135,6 +174,130 @@ func TestLeaveIdempotentAndUnknown(t *testing.T) {
 	call.Stop()
 	if len(call.Server.clients) != 4 {
 		t.Errorf("clients = %d after churn no-ops, want 4", len(call.Server.clients))
+	}
+}
+
+// TestChurnStormKeepsTablesDense drives interleaved Leave/Rejoin storms
+// and checks the registry's free-list recycling: the ID space (and with it
+// every routing table) never grows past the call's build-time density, a
+// recycled ID never aliases a live participant's state, and the whole
+// storm is deterministic for a fixed seed.
+func TestChurnStormKeepsTablesDense(t *testing.T) {
+	storm := func(seed int64) (capAfter int, down [5]float64, origins [][]string) {
+		eng := sim.New(seed)
+		call := fiveParty(eng, Meet())
+		capBefore := call.reg.cap()
+		call.Start()
+		// Interleaved leaves and rejoins: c2 and c3's IDs cross the free
+		// list out of order, so rejoiners draw recycled IDs that may have
+		// belonged to someone else.
+		step := 2 * time.Second
+		at := 4 * time.Second
+		for round := 0; round < 3; round++ {
+			for _, ev := range []struct {
+				leave bool
+				name  string
+			}{{true, "c2"}, {true, "c3"}, {false, "c2"}, {true, "c4"}, {false, "c3"}, {false, "c4"}} {
+				ev := ev
+				if ev.leave {
+					eng.Schedule(at, func() { call.Leave(ev.name) })
+				} else {
+					eng.Schedule(at, func() { call.Rejoin(ev.name) })
+				}
+				at += step
+			}
+		}
+		eng.RunUntil(at + 10*time.Second)
+		call.Stop()
+		if call.reg.cap() != capBefore {
+			t.Fatalf("ID space grew under churn: %d -> %d (free list not recycling)",
+				capBefore, call.reg.cap())
+		}
+		for i, cl := range call.Clients {
+			down[i] = cl.DownMeter.TotalBytes()
+			origins = append(origins, cl.Origins())
+		}
+		return call.reg.cap(), down, origins
+	}
+
+	cap1, down1, origins1 := storm(77)
+	if cap1 != 6 { // 5 clients + 1 SFU
+		t.Errorf("registry cap = %d, want 6", cap1)
+	}
+	// No aliasing: every receiver a live client holds must belong to a
+	// live participant or the SFU — never an empty (freed) binding, and
+	// every live remote participant's media must be flowing again.
+	for i, names := range origins1 {
+		seen := map[string]bool{}
+		for _, n := range names {
+			if n == "" {
+				t.Fatalf("client %d holds a receiver for a freed ID", i)
+			}
+			if seen[n] {
+				t.Fatalf("client %d holds duplicate receivers for %q", i, n)
+			}
+			seen[n] = true
+		}
+	}
+	if down1[0] == 0 {
+		t.Fatal("c1 received nothing through the churn storm")
+	}
+
+	// Determinism: the identical storm replays to identical byte counts.
+	_, down2, _ := storm(77)
+	if down1 != down2 {
+		t.Errorf("churn storm not deterministic: %v vs %v", down1, down2)
+	}
+}
+
+// TestChurnRecycledIDStartsFresh checks that a participant rejoining onto
+// a recycled ID (possibly another participant's old slot) gets virgin
+// server state: fresh uplink receiver, empty rate row, zeroed forwarding.
+func TestChurnRecycledIDStartsFresh(t *testing.T) {
+	eng := sim.New(78)
+	call := fiveParty(eng, Zoom())
+	call.Start()
+	eng.RunUntil(5 * time.Second)
+
+	// c2 then c3 leave; c2 rejoins first, drawing c3's freed ID from the
+	// LIFO free list.
+	id2, id3 := call.clientByName("c2").id, call.clientByName("c3").id
+	call.Leave("c2")
+	call.Leave("c3")
+	call.Rejoin("c2")
+	got := call.clientByName("c2").id
+	if got != id3 {
+		t.Fatalf("c2 rejoined with ID %d, want recycled %d (LIFO)", got, id3)
+	}
+	s := call.Server
+	if s.upRecv[got] == nil || len(s.rates[got]) != 0 || s.legs[got] == nil {
+		t.Fatal("rejoined participant's recycled slot not reset")
+	}
+	if s.reg.name(got) != "c2" {
+		t.Fatalf("recycled ID resolves to %q, want c2", s.reg.name(got))
+	}
+	// Every other leg's cached flow-label row for the recycled ID must be
+	// gone: a stale row would account c2's media under c3's name.
+	for _, rid := range s.legOrder {
+		if l := s.legs[rid]; l != nil && rid != got && l.flows[got] != nil {
+			t.Fatalf("leg %s retains stale flow labels for recycled ID %d", l.recvName, got)
+		}
+	}
+	call.Rejoin("c3")
+	if call.clientByName("c3").id != id2 {
+		t.Fatalf("c3 rejoined with ID %d, want recycled %d", call.clientByName("c3").id, id2)
+	}
+	eng.RunUntil(15 * time.Second)
+	call.Stop()
+	// Both rejoiners flow media again, each under their own identity.
+	for _, name := range []string{"c2", "c3"} {
+		cl := call.clientByName(name)
+		if cl.UpMeter.MeanRateMbps(10*time.Second, 15*time.Second) <= 0 {
+			t.Errorf("rejoined %s sends nothing", name)
+		}
+		if call.C1().Receiver(name).DisplayedFrames() == 0 {
+			t.Errorf("c1 never displayed rejoined %s", name)
+		}
 	}
 }
 

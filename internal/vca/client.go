@@ -16,7 +16,11 @@ import (
 
 // Client is one VCA participant: a media sender (source → encoder →
 // packetizer → host) plus a media receiver per remote participant, with
-// RTCP-style feedback loops at 100 ms cadence.
+// RTCP-style feedback loops at 100 ms cadence. Receive-side state is
+// index-addressed by the call registry's dense participant IDs; the 10 Hz
+// feedback and 1 Hz stats ticks iterate an explicit order list that
+// preserves the sorted-name order of the string-keyed implementation, so
+// aggregate statistics stay byte-identical.
 type Client struct {
 	Name string
 
@@ -24,6 +28,9 @@ type Client struct {
 	prof      *Profile
 	host      *netem.Host
 	server    string // server host name
+	reg       *registry
+	id        int32 // own registry ID (refreshed on rejoin)
+	region    int   // home region index (stable across churn)
 	rng       *rand.Rand
 	startedAt time.Duration
 
@@ -40,18 +47,25 @@ type Client struct {
 	lastPad    time.Duration
 
 	// --- receiver ---
-	recv map[string]*media.Receiver
-	// recvNames mirrors recv's keys in sorted order, maintained on
-	// insert so the 10 Hz feedback and 1 Hz stats ticks iterate without
-	// re-sorting (deterministic and allocation-free).
-	recvNames []string
+	recv []*media.Receiver // origin ID -> receiver (nil until first packet)
+	// recvOrder lists the IDs of live receivers in sorted-name order,
+	// maintained on insert so the 10 Hz feedback and 1 Hz stats ticks
+	// iterate deterministically and allocation-free, in the exact order
+	// the string-keyed implementation used.
+	recvOrder []int32
 
 	// --- hot-path caches ---
 	pool *mpPool // shared per-call media packet free list
-	// flows caches the per-stream accounting labels; flowRtcp is the
-	// feedback label. Building these per packet would allocate.
-	flows    map[string]string
+	// flows caches the per-stream accounting labels by rate key; flowRtcp
+	// is the feedback label. Building these per packet would allocate.
+	flows    [rkSVC + 1]string
 	flowRtcp string
+
+	// strayRecv backs Receiver() calls for names outside the call's
+	// registry (misspellings, probes): read-style lookups must never
+	// mutate the registry — interning a stranger could steal a freed ID
+	// out from under a later Rejoin. Cold path only.
+	strayRecv map[string]*media.Receiver
 
 	// --- instrumentation ---
 	UpMeter   *stats.Meter // bytes this client put on the wire
@@ -71,17 +85,19 @@ type Client struct {
 	running bool
 }
 
-func newClient(eng *sim.Engine, prof *Profile, name string, host *netem.Host, server string, pool *mpPool, seed int64) *Client {
+func newClient(eng *sim.Engine, prof *Profile, name string, host *netem.Host, reg *registry, server string, region int, pool *mpPool, seed int64) *Client {
 	c := &Client{
 		Name:      name,
 		eng:       eng,
 		prof:      prof,
 		host:      host,
 		server:    server,
+		reg:       reg,
+		id:        reg.intern(name, false),
+		region:    region,
 		rng:       rand.New(rand.NewSource(seed)),
-		recv:      map[string]*media.Receiver{},
+		recv:      make([]*media.Receiver, reg.cap()),
 		pool:      pool,
-		flows:     map[string]string{},
 		flowRtcp:  prof.Name + "/" + name + "/rtcp",
 		UpMeter:   stats.NewMeter(time.Second),
 		DownMeter: stats.NewMeter(time.Second),
@@ -121,21 +137,69 @@ func (c *Client) TierBps() float64 { return c.tierBps }
 func (c *Client) CC() cc.Controller { return c.ccUp }
 
 // Receiver returns the media receiver tracking origin's stream, creating
-// it on first use.
+// it on first use. Experiments and tests address receivers by name; the
+// packet path uses receiverByID directly. Names outside the call get a
+// stable detached receiver rather than a registry entry.
 func (c *Client) Receiver(origin string) *media.Receiver {
-	r, ok := c.recv[origin]
+	if id := c.reg.id(origin); id != noID {
+		return c.receiverByID(id)
+	}
+	if c.strayRecv == nil {
+		c.strayRecv = map[string]*media.Receiver{}
+	}
+	r, ok := c.strayRecv[origin]
 	if !ok {
 		r = media.NewReceiver()
-		r.OnFIR = func(now time.Duration) {
-			c.sendSignal(&FIRMsg{From: c.Name, Origin: origin})
-		}
-		c.recv[origin] = r
-		i := sort.SearchStrings(c.recvNames, origin)
-		c.recvNames = append(c.recvNames, "")
-		copy(c.recvNames[i+1:], c.recvNames[i:])
-		c.recvNames[i] = origin
+		c.strayRecv[origin] = r
 	}
 	return r
+}
+
+// receiverByID returns (creating on first use) the receiver slot for one
+// origin ID. New receivers enter recvOrder at their name's sorted position.
+func (c *Client) receiverByID(origin int32) *media.Receiver {
+	for int(origin) >= len(c.recv) {
+		c.recv = append(c.recv, nil)
+	}
+	r := c.recv[origin]
+	if r == nil {
+		r = media.NewReceiver()
+		name := c.reg.name(origin)
+		r.OnFIR = func(now time.Duration) {
+			c.sendSignal(&FIRMsg{From: c.Name, Origin: name})
+		}
+		c.recv[origin] = r
+		i := sort.Search(len(c.recvOrder), func(i int) bool {
+			return c.reg.name(c.recvOrder[i]) >= name
+		})
+		c.recvOrder = append(c.recvOrder, 0)
+		copy(c.recvOrder[i+1:], c.recvOrder[i:])
+		c.recvOrder[i] = origin
+	}
+	return r
+}
+
+// dropOrigin releases the receiver slot for a departed participant, so a
+// recycled ID can never alias its accumulated state.
+func (c *Client) dropOrigin(origin int32) {
+	if int(origin) >= len(c.recv) || c.recv[origin] == nil {
+		return
+	}
+	c.recv[origin] = nil
+	for i, id := range c.recvOrder {
+		if id == origin {
+			c.recvOrder = append(c.recvOrder[:i], c.recvOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// clearRecv drops every receiver (the client itself is leaving the call).
+func (c *Client) clearRecv() {
+	for i := range c.recv {
+		c.recv[i] = nil
+	}
+	c.recvOrder = c.recvOrder[:0]
 }
 
 // start begins media flow and feedback/stat tickers.
@@ -223,6 +287,7 @@ func (c *Client) videoTick(now time.Duration) {
 
 // sendFrame packetizes one encoded frame into RTP-sized packets.
 func (c *Client) sendFrame(f *codec.Frame) {
+	rk := streamRK(f.StreamID)
 	remaining := f.Bytes
 	for remaining > 0 {
 		chunk := remaining
@@ -233,7 +298,9 @@ func (c *Client) sendFrame(f *codec.Frame) {
 		last := remaining == 0
 		mp := c.pool.get()
 		mp.Origin = c.Name
+		mp.OriginID = c.id
 		mp.StreamID = f.StreamID
+		mp.RK = rk
 		mp.Layer = f.Layer
 		mp.SSRC = 1
 		mp.Seq = c.seq
@@ -263,7 +330,9 @@ func (c *Client) audioTick(time.Duration) {
 		return
 	}
 	mp := c.pool.get()
-	mp.Origin, mp.StreamID, mp.SSRC, mp.Seq, mp.Audio = c.Name, "audio", 2, c.seq, true
+	mp.Origin, mp.OriginID = c.Name, c.id
+	mp.StreamID, mp.RK = "audio", rkAudio
+	mp.SSRC, mp.Seq, mp.Audio = 2, c.seq, true
 	c.seq++
 	c.send(mp, 100+wireOverhead)
 }
@@ -283,21 +352,21 @@ func (c *Client) padTick(now time.Duration) {
 	for c.padOwed >= maxPayload {
 		c.padOwed -= maxPayload
 		mp := c.pool.get()
-		mp.Origin, mp.StreamID, mp.SSRC, mp.Seq, mp.Padding = c.Name, "pad", 1, c.seq, true
+		mp.Origin, mp.OriginID = c.Name, c.id
+		mp.StreamID, mp.RK = "pad", rkPad
+		mp.SSRC, mp.Seq, mp.Padding = 1, c.seq, true
 		c.seq++
 		c.send(mp, maxPayload+wireOverhead)
 	}
 }
 
 // flowFor returns the cached accounting label for one of this client's
-// streams.
-func (c *Client) flowFor(stream string) string {
-	f, ok := c.flows[stream]
-	if !ok {
-		f = c.prof.Name + "/" + c.Name + "/" + stream
-		c.flows[stream] = f
+// streams, index-addressed by rate key.
+func (c *Client) flowFor(rk uint8, stream string) string {
+	if c.flows[rk] == "" {
+		c.flows[rk] = c.prof.Name + "/" + c.Name + "/" + stream
 	}
-	return f
+	return c.flows[rk]
 }
 
 func (c *Client) send(mp *MediaPacket, wireBytes int) {
@@ -308,7 +377,7 @@ func (c *Client) send(mp *MediaPacket, wireBytes int) {
 	pkt.Size = wireBytes
 	pkt.From = netem.Addr{Host: c.Name, Port: PortMedia}
 	pkt.To = netem.Addr{Host: c.server, Port: PortMedia}
-	pkt.Flow = c.flowFor(mp.StreamID)
+	pkt.Flow = c.flowFor(mp.RK, mp.StreamID)
 	pkt.Payload = mp
 	c.host.Send(pkt)
 }
@@ -323,7 +392,8 @@ func (c *Client) sendSignal(payload any) {
 	})
 }
 
-// onMedia handles a forwarded media packet from the SFU. The packet's
+// onMedia handles a forwarded media packet from the SFU, dispatching to
+// the receiver slot by the packet's stamped origin ID. The packet's
 // payload is consumed here: it goes back to the call's media pool.
 func (c *Client) onMedia(pkt *netem.Packet) {
 	mp, ok := pkt.Payload.(*MediaPacket)
@@ -346,7 +416,9 @@ func (c *Client) onMedia(pkt *netem.Packet) {
 		// path, uplink queueing included (abs-send-time semantics).
 		sentAt = mp.OriginSentAt
 	}
-	c.Receiver(mp.Origin).OnPacket(now, mp.Info(pkt.Size, sentAt))
+	if c.reg.live(mp.OriginID) {
+		c.receiverByID(mp.OriginID).OnPacket(now, mp.Info(pkt.Size, sentAt))
+	}
 	releaseMedia(mp)
 }
 
@@ -400,8 +472,8 @@ func (c *Client) feedbackTick(now time.Duration) {
 	var agg media.IntervalStats
 	var expectedSum int
 	var lossWeighted float64
-	for _, name := range c.recvNames {
-		r := c.recv[name]
+	for _, id := range c.recvOrder {
+		r := c.recv[id]
 		st := r.Take(now)
 		agg.RateBps += st.RateBps
 		expectedSum += st.Expected
@@ -424,7 +496,7 @@ func (c *Client) feedbackTick(now time.Duration) {
 	pkt.From = netem.Addr{Host: c.Name, Port: PortFeedback}
 	pkt.To = netem.Addr{Host: c.server, Port: PortFeedback}
 	pkt.Flow = c.flowRtcp
-	pkt.Payload = &FeedbackMsg{From: c.Name, Stats: agg}
+	pkt.Payload = &FeedbackMsg{From: c.Name, FromID: c.id, Stats: agg}
 	c.host.Send(pkt)
 }
 
@@ -454,8 +526,8 @@ func (c *Client) statsTick(now time.Duration) {
 	// padding-only receivers (server probes) carry no params.
 	var frames, bestFrames int
 	var freeze time.Duration
-	for _, name := range c.recvNames {
-		r := c.recv[name]
+	for _, id := range c.recvOrder {
+		r := c.recv[id]
 		if r.DisplayedFrames() >= bestFrames && r.LastParams.Width > 0 {
 			bestFrames = r.DisplayedFrames()
 			s.In = r.LastParams
@@ -472,17 +544,16 @@ func (c *Client) statsTick(now time.Duration) {
 func (c *Client) Host() *netem.Host { return c.host }
 
 // Origins returns the sorted names of every remote participant this
-// client has received media from. The home SFU is excluded: its probe
-// padding creates a rate-only receiver, not a participant.
+// client has received media from. SFUs are excluded: their probe padding
+// creates a rate-only receiver, not a participant.
 func (c *Client) Origins() []string {
-	names := make([]string, 0, len(c.recv))
-	for name := range c.recv {
-		if name != c.server {
-			names = append(names, name)
+	names := make([]string, 0, len(c.recvOrder))
+	for _, id := range c.recvOrder {
+		if !c.reg.isServer(id) {
+			names = append(names, c.reg.name(id))
 		}
 	}
-	sort.Strings(names)
-	return names
+	return names // recvOrder is name-sorted already
 }
 
 // FrameLatencies returns the end-to-end frame latencies sampled at or

@@ -30,12 +30,65 @@ const wireOverhead = 40
 // maxPayload is the media packetization MTU budget.
 const maxPayload = 1200
 
+// Rate keys give every stream of one origin a dense index, replacing the
+// string-keyed per-(origin, stream) maps on the packet path: rate
+// estimators and flow-label caches are slices indexed by rate key. SVC
+// layers extend past rkSVC (layer L maps to rkSVC+L), so rkSVC must stay
+// the last constant.
+const (
+	rkVideo   uint8 = iota // "video"
+	rkSimLow               // "sim/low"
+	rkSimHigh              // "sim/high"
+	rkAudio                // "audio"
+	rkPad                  // "pad"
+	rkFEC                  // "fec"
+	rkSVC                  // "svc", layer 0; layer L -> rkSVC+L
+)
+
+// streamRK maps a codec stream ID to its rate key, stamped once at packet
+// creation so no forwarding hop re-derives it.
+func streamRK(stream string) uint8 {
+	switch stream {
+	case "video":
+		return rkVideo
+	case "sim/low":
+		return rkSimLow
+	case "sim/high":
+		return rkSimHigh
+	case "svc":
+		return rkSVC
+	case "audio":
+		return rkAudio
+	case "pad":
+		return rkPad
+	case "fec":
+		return rkFEC
+	}
+	return rkVideo
+}
+
+// rateKey expands a packet's stamped rate key with its SVC layer.
+func (m *MediaPacket) rateKey() int {
+	k := int(m.RK)
+	if m.RK == rkSVC {
+		k += m.Layer
+	}
+	return k
+}
+
 // MediaPacket is the typed payload of an RTP media packet in the emulator.
 // internal/pcap can serialize it to a real RTP packet for traces.
 type MediaPacket struct {
-	Origin   string // participant whose media this is
+	Origin string // participant whose media this is
+	// OriginID is Origin's dense call-wide registry ID, stamped at the
+	// origin client (or at the SFU for server-generated padding/FEC) and
+	// preserved across every forwarding hop: all per-packet routing and
+	// accounting indexes by it, never by the name.
+	OriginID int32
 	StreamID string // "video", "sim/low", "sim/high", "svc", "audio", "pad"
-	Layer    int    // SVC layer
+	// RK is StreamID's rate key (see streamRK), stamped alongside OriginID.
+	RK       uint8
+	Layer    int // SVC layer
 	SSRC     uint32
 	Seq      uint16
 	FrameSeq int
@@ -124,8 +177,9 @@ func (m *MediaPacket) Info(wireBytes int, sentAt time.Duration) media.PacketInfo
 // FeedbackMsg is the periodic receiver report (100 ms cadence), carrying
 // the aggregate interval statistics the congestion controllers consume.
 type FeedbackMsg struct {
-	From  string // reporting client
-	Stats media.IntervalStats
+	From   string // reporting client (or downstream SFU)
+	FromID int32  // From's registry ID — the SFU's leg lookup key
+	Stats  media.IntervalStats
 }
 
 // FIRMsg requests a keyframe for Origin's stream (RTCP FIR, RFC 5104).

@@ -1,7 +1,6 @@
 package vca
 
 import (
-	"strconv"
 	"time"
 
 	"vcalab/internal/cc"
@@ -29,40 +28,62 @@ import (
 // machinery as a receiver leg; for Meet/Zoom it terminates congestion
 // control per hop (the downstream SFU reports back like a receiver would),
 // while for Teams it is a pure pass-through and RTCP stays end-to-end.
+//
+// Every per-participant table is a dense slice indexed by the call
+// registry's IDs (see registry.go); the forward/feedback/stats ticks never
+// hash a string. Iteration happens through explicit ID order lists
+// (clients, legOrder, per-origin fan-outs) that preserve the exact order
+// the string-keyed implementation used, so packet emission — and therefore
+// experiment output — is byte-identical.
 type Server struct {
 	Name string
 
 	eng  *sim.Engine
 	prof *Profile
 	host *netem.Host
+	reg  *registry
+	id   int32 // own registry ID
 
-	clients   []string
-	displayed map[string][]string // receiver -> origins it displays
-	n         int                 // total participants across all regions
+	clients []int32 // locally homed participant IDs, join order
+	// displayed maps a receiver ID to the origin IDs it displays (layout
+	// order). The receiver may be a peer SFU (the relay subscription).
+	displayed [][]int32
+	n         int // total participants across all regions
 	// passthrough marks a pure relay that forwards packets untouched
 	// (Teams in a 2-party call, §4.2): original sequence numbers and
 	// origin timestamps survive, so uplink loss and queueing remain
 	// visible to the far receiver's end-to-end congestion control.
 	passthrough bool
 
-	upRecv map[string]*media.Receiver // per-origin uplink stats
-	legs   map[string]*leg            // per-receiver forwarding state
+	upRecv []*media.Receiver // origin ID -> uplink stats (nil: not local)
+	legs   []*leg            // receiver ID -> forwarding state (nil: no leg)
 	// legOrder fixes the iteration order over legs (local clients first,
 	// then relay peers) so ticks emit packets deterministically even when
 	// several legs share one shaped link (the cascade's inter-region hop).
-	legOrder []string
-	rates    map[string]map[string]*rateEst
+	legOrder []int32
+	// rates[origin][rateKey] tracks per-stream arrival rates; a nil row
+	// means the origin is unknown here (e.g. relay probe padding).
+	rates [][]rateEst
 
 	// --- cascade state (all empty in a single-SFU call) ---
-	relayPeers []string // downstream peer SFUs this server relays to
-	peers      []string // upstream peer SFUs this server receives from
-	peerSet    map[string]bool
-	remote     map[string]string // remote origin -> upstream peer SFU
+	relayPeers []int32 // downstream peer SFUs this server relays to
+	peers      []int32 // upstream peer SFUs this server receives from
+	peerSet    []bool  // ID -> is an upstream peer
+	remote     []int32 // origin ID -> upstream peer SFU ID (noID: not remote)
 	// relayRecv accounts arrivals per upstream peer so the per-hop
 	// feedback loop (Meet/Zoom) can report loss/delay on the relay link.
-	relayRecv map[string]*media.Receiver
+	relayRecv []*media.Receiver
 
 	// --- hot-path caches ---
+	// fanVideo/fanAudio precompute, per origin ID, the legs a packet fans
+	// out to (local receiver legs in join order, then relay legs), derived
+	// from the displayed sets: the per-packet path walks a slice instead
+	// of testing membership per receiver. Rebuilt lazily after any layout
+	// or churn change.
+	fanVideo [][]*leg
+	fanAudio [][]*leg
+	fanDirty bool
+
 	pool *mpPool // shared per-call media packet free list
 	// Precomputed accounting labels for the fixed-cadence feedback and
 	// signalling flows.
@@ -76,16 +97,17 @@ type Server struct {
 // leg is the server's state toward one receiver — a local client, or a peer
 // SFU when relay is set.
 type leg struct {
-	receiver string
+	receiver int32
+	recvName string // cached for netem addressing
 	relay    bool
 	ctrl     cc.Controller // nil for Teams (pure relay)
 	seq      uint16        // relay legs: one sequence space across origins
-	fwd      map[string]*fwdState
+	fwd      []*fwdState   // origin ID -> forwarding state
 	padOwed  float64
 	lastPad  time.Duration
-	// flows caches accounting labels per (origin, stream): building the
-	// label per forwarded packet would allocate on the hottest path.
-	flows map[string]map[string]string
+	// flows caches accounting labels per (origin ID, rate key): building
+	// the label per forwarded packet would allocate on the hottest path.
+	flows [][]string
 }
 
 // fwdState is the per-(receiver, origin) forwarding state: rewritten
@@ -95,7 +117,7 @@ type fwdState struct {
 	frameOut   int
 	curInFrame int
 	curKeep    bool
-	selStream  string  // Meet: currently selected simulcast copy
+	selRK      uint8   // Meet: rate key of the selected simulcast copy
 	maxLayer   int     // Zoom: highest forwarded SVC layer
 	thinFactor float64 // fraction of frames forwarded
 	thinAcc    float64
@@ -104,7 +126,7 @@ type fwdState struct {
 }
 
 func newFwdState() *fwdState {
-	return &fwdState{curInFrame: -1, selStream: "sim/high", maxLayer: 1 << 10, thinFactor: 1}
+	return &fwdState{curInFrame: -1, selRK: rkSimHigh, maxLayer: 1 << 10, thinFactor: 1}
 }
 
 type rateEst struct {
@@ -113,23 +135,30 @@ type rateEst struct {
 }
 
 // newServer builds the SFU on the given host. clients are the locally homed
-// participants; total is the call-wide participant count (equal to
-// len(clients) in a single-SFU call).
-func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []string, pool *mpPool, total int) *Server {
+// participant IDs; total is the call-wide participant count (equal to
+// len(clients) in a single-SFU call). The registry must already hold every
+// participant and SFU of the call, so all tables size to their final
+// density here.
+func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, reg *registry, clients []int32, pool *mpPool, total int) *Server {
+	n := reg.cap()
 	s := &Server{
 		Name:      host.Name,
 		eng:       eng,
 		prof:      prof,
 		host:      host,
-		clients:   clients,
-		displayed: map[string][]string{},
+		reg:       reg,
+		id:        reg.intern(host.Name, true),
+		displayed: make([][]int32, n),
 		n:         total,
-		upRecv:    map[string]*media.Receiver{},
-		legs:      map[string]*leg{},
-		rates:     map[string]map[string]*rateEst{},
-		peerSet:   map[string]bool{},
-		remote:    map[string]string{},
-		relayRecv: map[string]*media.Receiver{},
+		upRecv:    make([]*media.Receiver, n),
+		legs:      make([]*leg, n),
+		rates:     make([][]rateEst, n),
+		peerSet:   make([]bool, n),
+		remote:    make([]int32, n),
+		relayRecv: make([]*media.Receiver, n),
+		fanVideo:  make([][]*leg, n),
+		fanAudio:  make([][]*leg, n),
+		fanDirty:  true,
 
 		pool:          pool,
 		flowRtcpUp:    prof.Name + "/sfu/rtcp-up",
@@ -138,14 +167,15 @@ func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []strin
 		flowFir:       prof.Name + "/sfu/fir",
 		flowAlloc:     prof.Name + "/sfu/alloc",
 	}
+	for i := range s.remote {
+		s.remote[i] = noID
+	}
 	s.passthrough = prof.NewServerCC == nil && total == 2
 	for _, c := range clients {
+		s.clients = append(s.clients, c)
 		s.upRecv[c] = media.NewReceiver()
-		s.rates[c] = map[string]*rateEst{}
-		l := &leg{receiver: c, fwd: map[string]*fwdState{}}
-		if prof.NewServerCC != nil {
-			l.ctrl = prof.NewServerCC()
-		}
+		s.rates[c] = []rateEst{}
+		l := s.newLeg(c, false)
 		s.legs[c] = l
 		for _, o := range clients {
 			if o != c {
@@ -160,21 +190,72 @@ func newServer(eng *sim.Engine, prof *Profile, host *netem.Host, clients []strin
 	return s
 }
 
+func (s *Server) newLeg(receiver int32, relay bool) *leg {
+	l := &leg{
+		receiver: receiver,
+		recvName: s.reg.name(receiver),
+		relay:    relay,
+		fwd:      make([]*fwdState, s.reg.cap()),
+		flows:    make([][]string, s.reg.cap()),
+	}
+	if s.prof.NewServerCC != nil {
+		l.ctrl = s.prof.NewServerCC()
+	}
+	return l
+}
+
 func (s *Server) rebuildLegOrder() {
 	s.legOrder = s.legOrder[:0]
 	s.legOrder = append(s.legOrder, s.clients...)
 	s.legOrder = append(s.legOrder, s.relayPeers...)
+	s.fanDirty = true
+}
+
+// rebuildFans recomputes the per-origin fan-out leg lists from the current
+// displayed sets, preserving the emission order of the string-keyed
+// implementation: local receivers in join order, then relay peers. Video
+// fans out to receivers displaying the origin; audio to everyone. Remote
+// origins never fan to relay legs — in a full mesh each origin's media
+// crosses each inter-region link exactly once.
+func (s *Server) rebuildFans() {
+	s.fanDirty = false
+	for o := range s.fanVideo {
+		video, audio := s.fanVideo[o][:0], s.fanAudio[o][:0]
+		oid := int32(o)
+		local := s.upRecv[oid] != nil
+		if !local && s.remote[oid] == noID {
+			s.fanVideo[o], s.fanAudio[o] = video, audio
+			continue
+		}
+		for _, rid := range s.clients {
+			if rid == oid {
+				continue
+			}
+			l := s.legs[rid]
+			audio = append(audio, l)
+			if s.displays(rid, oid) {
+				video = append(video, l)
+			}
+		}
+		if local {
+			for _, peer := range s.relayPeers {
+				l := s.legs[peer]
+				audio = append(audio, l)
+				if s.displays(peer, oid) {
+					video = append(video, l)
+				}
+			}
+		}
+		s.fanVideo[o], s.fanAudio[o] = video, audio
+	}
 }
 
 // addRelayLeg creates the forwarding leg toward a peer SFU, carrying the
 // given locally homed origins. For Meet/Zoom the leg gets its own
 // congestion controller (per-hop termination); for Teams it stays a pure
 // pass-through.
-func (s *Server) addRelayLeg(peer string, origins []string) {
-	l := &leg{receiver: peer, relay: true, fwd: map[string]*fwdState{}}
-	if s.prof.NewServerCC != nil {
-		l.ctrl = s.prof.NewServerCC()
-	}
+func (s *Server) addRelayLeg(peer int32, origins []int32) {
+	l := s.newLeg(peer, true)
 	for _, o := range origins {
 		l.fwd[o] = newFwdState()
 	}
@@ -185,9 +266,8 @@ func (s *Server) addRelayLeg(peer string, origins []string) {
 
 // addRemoteOrigins registers origins homed on an upstream peer SFU: their
 // media arrives over the relay link and is re-forwarded to local receivers
-// only (never to other peers — in a full mesh each origin's media crosses
-// each inter-region link exactly once).
-func (s *Server) addRemoteOrigins(peer string, origins []string) {
+// only.
+func (s *Server) addRemoteOrigins(peer int32, origins []int32) {
 	if !s.peerSet[peer] {
 		s.peerSet[peer] = true
 		s.peers = append(s.peers, peer)
@@ -201,102 +281,159 @@ func (s *Server) addRemoteOrigins(peer string, origins []string) {
 }
 
 // addRemoteOrigin registers one remote origin (rejoin path).
-func (s *Server) addRemoteOrigin(peer, origin string) {
+func (s *Server) addRemoteOrigin(peer, origin int32) {
 	if !s.peerSet[peer] {
 		s.addRemoteOrigins(peer, nil)
 	}
 	s.remote[origin] = peer
-	if _, ok := s.rates[origin]; !ok {
-		s.rates[origin] = map[string]*rateEst{}
+	if s.rates[origin] == nil {
+		s.rates[origin] = []rateEst{}
 	}
 	for _, c := range s.clients {
-		if _, ok := s.legs[c].fwd[origin]; !ok {
-			s.legs[c].fwd[origin] = newFwdState()
+		if l := s.legs[c]; l.fwd[origin] == nil {
+			l.fwd[origin] = newFwdState()
 		}
 	}
+	s.fanDirty = true
 }
 
 // removeRemoteOrigin drops all per-origin state for a remote origin that
 // left the call, so cascade churn does not leak rate estimators or
 // forwarding state.
-func (s *Server) removeRemoteOrigin(origin string) {
-	delete(s.remote, origin)
-	delete(s.rates, origin)
-	for _, l := range s.legs {
-		delete(l.fwd, origin)
+func (s *Server) removeRemoteOrigin(origin int32) {
+	s.remote[origin] = noID
+	s.rates[origin] = nil
+	for _, rid := range s.legOrder {
+		if l := s.legs[rid]; l != nil {
+			l.fwd[origin] = nil
+			l.flows[origin] = nil
+		}
 	}
+	s.fanDirty = true
 }
 
 // removeClient drops all per-client state when a local participant leaves
 // mid-call: its uplink receiver, rate estimators, receiver leg, and every
 // other leg's forwarding state toward or from it.
-func (s *Server) removeClient(name string) {
+func (s *Server) removeClient(id int32) {
 	for i, c := range s.clients {
-		if c == name {
+		if c == id {
 			s.clients = append(s.clients[:i], s.clients[i+1:]...)
 			break
 		}
 	}
-	delete(s.upRecv, name)
-	delete(s.rates, name)
-	delete(s.legs, name)
-	delete(s.displayed, name)
-	for _, l := range s.legs {
-		delete(l.fwd, name)
+	s.upRecv[id] = nil
+	s.rates[id] = nil
+	s.legs[id] = nil
+	s.displayed[id] = nil
+	for _, rid := range s.legOrder {
+		if l := s.legs[rid]; l != nil {
+			l.fwd[id] = nil
+			l.flows[id] = nil
+		}
 	}
 	s.rebuildLegOrder()
 }
 
 // addClient re-attaches a local participant (rejoin path): fresh uplink
-// receiver, rate map and receiver leg, plus forwarding state in every
+// receiver, rate row and receiver leg, plus forwarding state in every
 // existing leg (local receivers and relay peers alike).
-func (s *Server) addClient(name string) {
-	s.clients = append(s.clients, name)
-	s.upRecv[name] = media.NewReceiver()
-	s.rates[name] = map[string]*rateEst{}
-	l := &leg{receiver: name, fwd: map[string]*fwdState{}}
-	if s.prof.NewServerCC != nil {
-		l.ctrl = s.prof.NewServerCC()
-	}
+func (s *Server) addClient(id int32) {
+	s.clients = append(s.clients, id)
+	s.upRecv[id] = media.NewReceiver()
+	s.rates[id] = []rateEst{}
+	l := s.newLeg(id, false)
 	for _, o := range s.clients {
-		if o != name {
+		if o != id {
 			l.fwd[o] = newFwdState()
 		}
 	}
 	for o := range s.remote {
-		l.fwd[o] = newFwdState()
+		if s.remote[o] != noID {
+			l.fwd[o] = newFwdState()
+		}
 	}
-	s.legs[name] = l
+	s.legs[id] = l
 	for _, other := range s.legOrder {
-		if other == name {
+		if other == id {
 			continue
 		}
-		if ol := s.legs[other]; ol != nil {
-			if _, ok := ol.fwd[name]; !ok {
-				ol.fwd[name] = newFwdState()
-			}
+		if ol := s.legs[other]; ol != nil && ol.fwd[id] == nil {
+			ol.fwd[id] = newFwdState()
 		}
 	}
 	s.rebuildLegOrder()
+}
+
+// resetSlot defensively clears every table entry a recycled ID indexes, so
+// a reused ID can never inherit a departed participant's state.
+func (s *Server) resetSlot(id int32) {
+	if int(id) >= len(s.legs) {
+		return
+	}
+	s.upRecv[id] = nil
+	s.rates[id] = nil
+	s.legs[id] = nil
+	s.displayed[id] = nil
+	s.remote[id] = noID
+	for _, rid := range s.legOrder {
+		if l := s.legs[rid]; l != nil {
+			l.fwd[id] = nil
+			l.flows[id] = nil
+		}
+	}
+	s.fanDirty = true
 }
 
 // setTotal updates the call-wide participant count after churn (layout
 // factors like Teams' ForwardFactor depend on it).
 func (s *Server) setTotal(n int) { s.n = n }
 
+// setDisplayedIDs installs a receiver's displayed origin set (layout) by
+// registry ID — the call-internal fast path.
+func (s *Server) setDisplayedIDs(receiver int32, origins []int32) {
+	s.displayed[receiver] = origins
+	s.fanDirty = true
+}
+
 // SetDisplayed configures which origins each receiver displays (layout).
 // The receiver may be a peer SFU, in which case the set is the union of
 // what that region's receivers display — the relay subscription.
 func (s *Server) SetDisplayed(receiver string, origins []string) {
-	s.displayed[receiver] = origins
+	rid := s.reg.id(receiver)
+	if rid == noID {
+		return
+	}
+	ids := make([]int32, 0, len(origins))
+	for _, o := range origins {
+		if oid := s.reg.id(o); oid != noID {
+			ids = append(ids, oid)
+		}
+	}
+	s.setDisplayedIDs(rid, ids)
 }
 
-// Displayed returns the current displayed set for one receiver.
-func (s *Server) Displayed(receiver string) []string { return s.displayed[receiver] }
+// Displayed returns the current displayed set for one receiver as names
+// (the reporting boundary).
+func (s *Server) Displayed(receiver string) []string {
+	rid := s.reg.id(receiver)
+	if rid == noID {
+		return nil
+	}
+	var out []string
+	for _, oid := range s.displayed[rid] {
+		out = append(out, s.reg.name(oid))
+	}
+	return out
+}
 
 // Leg exposes a receiver (or relay) leg's controller (for tests).
 func (s *Server) Leg(receiver string) cc.Controller {
-	if l := s.legs[receiver]; l != nil {
+	rid := s.reg.id(receiver)
+	if rid == noID {
+		return nil
+	}
+	if l := s.legs[rid]; l != nil {
 		return l.ctrl
 	}
 	return nil
@@ -319,22 +456,23 @@ func (s *Server) stop() {
 	s.tickers = nil
 }
 
-// sourcePeer identifies the upstream peer a packet was relayed by, or ""
-// for local uplink traffic. Relay probe padding carries the peer's own name
+// sourcePeer identifies the upstream peer a packet was relayed by, or noID
+// for local uplink traffic. Relay probe padding carries the peer's own ID
 // as origin; relayed media and FEC carry the original client's.
-func (s *Server) sourcePeer(mp *MediaPacket) string {
-	if p, ok := s.remote[mp.Origin]; ok {
+func (s *Server) sourcePeer(origin int32) int32 {
+	if p := s.remote[origin]; p != noID {
 		return p
 	}
-	if s.peerSet[mp.Origin] {
-		return mp.Origin
+	if s.peerSet[origin] {
+		return origin
 	}
-	return ""
+	return noID
 }
 
-// onMedia receives an uplink or relayed packet and forwards it. The
-// inbound payload is consumed here: every forwarded copy is a fresh
-// pooled packet, so the original returns to the pool on exit.
+// onMedia receives an uplink or relayed packet and forwards it along the
+// origin's precomputed fan-out — no string is hashed anywhere on this
+// path. The inbound payload is consumed here: every forwarded copy is a
+// fresh pooled packet, so the original returns to the pool on exit.
 func (s *Server) onMedia(pkt *netem.Packet) {
 	mp, ok := pkt.Payload.(*MediaPacket)
 	if !ok {
@@ -344,14 +482,18 @@ func (s *Server) onMedia(pkt *netem.Packet) {
 	if !s.running {
 		return
 	}
+	origin := mp.OriginID
+	if origin < 0 || int(origin) >= len(s.upRecv) {
+		return // stranger to this call
+	}
 	// Arrival accounting. The server does not decode, so every packet is
 	// treated as opaque payload: local uplinks feed the origin's feedback
 	// loop, relay arrivals feed the per-hop loop back to the upstream SFU.
-	if r, ok := s.upRecv[mp.Origin]; ok {
+	if r := s.upRecv[origin]; r != nil {
 		info := mp.Info(pkt.Size, pkt.SentAt)
 		info.Padding = true
 		r.OnPacket(s.eng.Now(), info)
-	} else if peer := s.sourcePeer(mp); peer != "" {
+	} else if peer := s.sourcePeer(origin); peer != noID {
 		if r := s.relayRecv[peer]; r != nil {
 			info := mp.Info(pkt.Size, pkt.SentAt)
 			info.Padding = true
@@ -364,29 +506,19 @@ func (s *Server) onMedia(pkt *netem.Packet) {
 	if mp.Padding {
 		return // probe padding and relay FEC terminate at each hop
 	}
-	for _, receiver := range s.clients {
-		if receiver == mp.Origin {
-			continue
-		}
-		if !s.displays(receiver, mp.Origin) && !mp.Audio {
-			continue
-		}
-		s.forward(s.legs[receiver], mp, pkt.Size)
+	if s.fanDirty {
+		s.rebuildFans()
 	}
-	// Relay locally homed origins to peer SFUs. Remote-origin media is
-	// never re-relayed: the mesh is full, so one inter-region hop reaches
-	// every region.
-	if _, isRemote := s.remote[mp.Origin]; !isRemote {
-		for _, peer := range s.relayPeers {
-			if !s.displays(peer, mp.Origin) && !mp.Audio {
-				continue
-			}
-			s.forward(s.legs[peer], mp, pkt.Size)
-		}
+	fan := s.fanVideo[origin]
+	if mp.Audio {
+		fan = s.fanAudio[origin]
+	}
+	for _, l := range fan {
+		s.forward(l, mp, pkt.Size)
 	}
 }
 
-func (s *Server) displays(receiver, origin string) bool {
+func (s *Server) displays(receiver, origin int32) bool {
 	for _, o := range s.displayed[receiver] {
 		if o == origin {
 			return true
@@ -396,39 +528,21 @@ func (s *Server) displays(receiver, origin string) bool {
 }
 
 func (s *Server) trackRate(mp *MediaPacket, size int) {
-	streams, ok := s.rates[mp.Origin]
-	if !ok {
-		return // e.g. relay probe padding named after the peer SFU
+	row := s.rates[mp.OriginID]
+	if row == nil {
+		return // e.g. relay probe padding carrying the peer SFU's ID
 	}
-	key := mp.StreamID
-	if mp.StreamID == "svc" {
-		key = svcKey(mp.Layer)
+	k := mp.rateKey()
+	for len(row) <= k {
+		row = append(row, rateEst{})
 	}
-	re, ok := streams[key]
-	if !ok {
-		re = &rateEst{}
-		streams[key] = re
-	}
-	re.bytes += size
-}
-
-// svcKeys covers the layer counts any realistic SVC ladder uses without
-// allocating; svcKey falls back to strconv for deeper ladders.
-var svcKeys = [...]string{
-	"svc/0", "svc/1", "svc/2", "svc/3", "svc/4",
-	"svc/5", "svc/6", "svc/7", "svc/8", "svc/9",
-}
-
-func svcKey(layer int) string {
-	if layer >= 0 && layer < len(svcKeys) {
-		return svcKeys[layer]
-	}
-	return "svc/" + strconv.Itoa(layer)
+	row[k].bytes += size
+	s.rates[mp.OriginID] = row
 }
 
 // forward applies per-VCA selection and relays the packet.
 func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
-	fs := l.fwd[mp.Origin]
+	fs := l.fwd[mp.OriginID]
 	if fs == nil {
 		return
 	}
@@ -447,7 +561,7 @@ func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
 	}
 	// Meet: the two simulcast copies have independent frame numbering, so
 	// the unselected copy is filtered before any frame-gating state.
-	if s.prof.Kind == KindMeet && mp.StreamID != fs.selStream {
+	if s.prof.Kind == KindMeet && mp.RK != fs.selRK {
 		return
 	}
 
@@ -511,7 +625,9 @@ func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo b
 			}
 			fs.fecOwed -= float64(n)
 			fec := s.pool.get()
-			fec.Origin, fec.StreamID, fec.Seq, fec.Padding = mp.Origin, "fec", l.nextSeq(fs), true
+			fec.Origin, fec.OriginID = mp.Origin, mp.OriginID
+			fec.StreamID, fec.RK = "fec", rkFEC
+			fec.Seq, fec.Padding = l.nextSeq(fs), true
 			s.send(l, fec, n+wireOverhead)
 		}
 	}
@@ -530,34 +646,31 @@ func (l *leg) nextSeq(fs *fwdState) uint16 {
 	return seq
 }
 
-// flowFor returns the leg's cached accounting label for (origin, stream).
-func (s *Server) flowFor(l *leg, origin, stream string) string {
-	m := l.flows[origin]
-	if m == nil {
-		if l.flows == nil {
-			l.flows = map[string]map[string]string{}
-		}
-		m = map[string]string{}
-		l.flows[origin] = m
+// flowFor returns the leg's cached accounting label for the packet's
+// (origin, stream), index-addressed by (origin ID, rate key).
+func (s *Server) flowFor(l *leg, mp *MediaPacket) string {
+	row := l.flows[mp.OriginID]
+	k := mp.rateKey()
+	for len(row) <= k {
+		row = append(row, "")
 	}
-	f, ok := m[stream]
-	if !ok {
+	if row[k] == "" {
 		kind := "sfu"
 		if l.relay {
 			kind = "relay"
 		}
-		f = s.prof.Name + "/" + kind + "/" + origin + "/" + stream
-		m[stream] = f
+		row[k] = s.prof.Name + "/" + kind + "/" + mp.Origin + "/" + mp.StreamID
 	}
-	return f
+	l.flows[mp.OriginID] = row
+	return row[k]
 }
 
 func (s *Server) send(l *leg, mp *MediaPacket, size int) {
 	pkt := s.host.NewPacket()
 	pkt.Size = size
 	pkt.From = netem.Addr{Host: s.Name, Port: PortMedia}
-	pkt.To = netem.Addr{Host: l.receiver, Port: PortMedia}
-	pkt.Flow = s.flowFor(l, mp.Origin, mp.StreamID)
+	pkt.To = netem.Addr{Host: l.recvName, Port: PortMedia}
+	pkt.Flow = s.flowFor(l, mp)
 	pkt.Payload = mp
 	s.host.Send(pkt)
 }
@@ -572,7 +685,10 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 	if !ok {
 		return
 	}
-	l := s.legs[fb.From]
+	if fb.FromID < 0 || int(fb.FromID) >= len(s.legs) {
+		return
+	}
+	l := s.legs[fb.FromID]
 	if l == nil {
 		return
 	}
@@ -593,11 +709,11 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 	// cascade this reaches remote origins across the inter-region link,
 	// keeping the loop end-to-end. The FeedbackMsg itself is shared
 	// across the relayed packets, so it is deliberately not pooled.
-	for _, origin := range s.displayed[fb.From] {
+	for _, origin := range s.displayed[fb.FromID] {
 		pkt := s.host.NewPacket()
 		pkt.Size = feedbackWire
 		pkt.From = netem.Addr{Host: s.Name, Port: PortFeedback}
-		pkt.To = netem.Addr{Host: origin, Port: PortFeedback}
+		pkt.To = netem.Addr{Host: s.reg.name(origin), Port: PortFeedback}
 		pkt.Flow = s.flowRtcpRelay
 		pkt.Payload = fb
 		s.host.Send(pkt)
@@ -629,11 +745,12 @@ func (s *Server) controlTick(now time.Duration) {
 		return
 	}
 	// Rate estimator EWMA update (order-free: entries are independent).
-	for _, streams := range s.rates {
-		for _, re := range streams {
-			inst := float64(re.bytes) * 8 / 0.1
-			re.rate = 0.5*re.rate + 0.5*inst
-			re.bytes = 0
+	for i := range s.rates {
+		row := s.rates[i]
+		for j := range row {
+			inst := float64(row[j].bytes) * 8 / 0.1
+			row[j].rate = 0.5*row[j].rate + 0.5*inst
+			row[j].bytes = 0
 		}
 	}
 	// Uplink feedback toward each sender — only when the server owns the
@@ -648,9 +765,9 @@ func (s *Server) controlTick(now time.Duration) {
 			pkt := s.host.NewPacket()
 			pkt.Size = feedbackWire
 			pkt.From = netem.Addr{Host: s.Name, Port: PortFeedback}
-			pkt.To = netem.Addr{Host: origin, Port: PortFeedback}
+			pkt.To = netem.Addr{Host: s.reg.name(origin), Port: PortFeedback}
 			pkt.Flow = s.flowRtcpUp
-			pkt.Payload = &FeedbackMsg{From: s.Name, Stats: st}
+			pkt.Payload = &FeedbackMsg{From: s.Name, FromID: s.id, Stats: st}
 			s.host.Send(pkt)
 		}
 		// Per-hop feedback to each upstream peer SFU: the downstream end
@@ -669,9 +786,9 @@ func (s *Server) controlTick(now time.Duration) {
 			pkt := s.host.NewPacket()
 			pkt.Size = feedbackWire
 			pkt.From = netem.Addr{Host: s.Name, Port: PortFeedback}
-			pkt.To = netem.Addr{Host: peer, Port: PortFeedback}
+			pkt.To = netem.Addr{Host: s.reg.name(peer), Port: PortFeedback}
 			pkt.Flow = s.flowRtcpHop
-			pkt.Payload = &FeedbackMsg{From: s.Name, Stats: st}
+			pkt.Payload = &FeedbackMsg{From: s.Name, FromID: s.id, Stats: st}
 			s.host.Send(pkt)
 		}
 	}
@@ -686,7 +803,8 @@ func (s *Server) updateSelection(l *leg) {
 	if l.relay && l.ctrl == nil {
 		return // Teams relay legs are pass-through; nothing to select
 	}
-	numVideo := len(s.displayed[l.receiver])
+	displayed := s.displayed[l.receiver]
+	numVideo := len(displayed)
 	if numVideo == 0 {
 		return
 	}
@@ -694,7 +812,7 @@ func (s *Server) updateSelection(l *leg) {
 	if l.ctrl != nil {
 		est = l.ctrl.TargetBps()
 	}
-	for _, origin := range s.displayed[l.receiver] {
+	for _, origin := range displayed {
 		fs := l.fwd[origin]
 		if fs == nil {
 			continue
@@ -705,25 +823,25 @@ func (s *Server) updateSelection(l *leg) {
 		}
 		switch s.prof.Kind {
 		case KindMeet:
-			highRate := s.rate(origin, "sim/high")
-			lowRate := s.rate(origin, "sim/low")
-			prev := fs.selStream
+			highRate := s.rate(origin, int(rkSimHigh))
+			lowRate := s.rate(origin, int(rkSimLow))
+			prev := fs.selRK
 			switch {
 			case highRate < 30_000:
 				// The high copy is not actually flowing (the sender
 				// disabled it); selecting it would forward nothing.
-				fs.selStream = "sim/low"
+				fs.selRK = rkSimLow
 				fs.thinFactor = 1
 			case share >= s.prof.ThinZoneHigh*highRate:
-				fs.selStream = "sim/high"
+				fs.selRK = rkSimHigh
 				fs.thinFactor = 1
 			case share >= s.prof.ThinZoneLow*highRate:
 				// Temporal-thinning zone (§3.2: FPS-first downlink
 				// adaptation): keep the high copy, drop frames.
-				fs.selStream = "sim/high"
+				fs.selRK = rkSimHigh
 				fs.thinFactor = share / highRate
 			default:
-				fs.selStream = "sim/low"
+				fs.selRK = rkSimLow
 				fs.thinFactor = 1
 				if lowRate > 0 && share < 0.9*lowRate {
 					// Even the low copy exceeds the estimate; thin it
@@ -731,22 +849,22 @@ func (s *Server) updateSelection(l *leg) {
 					// utilization floor behaviour).
 					fs.thinFactor = max(0.4, share/lowRate)
 				}
-				if _, isRemote := s.remote[origin]; isRemote && lowRate < 30_000 && highRate >= 30_000 {
+				if s.remote[origin] != noID && lowRate < 30_000 && highRate >= 30_000 {
 					// Cascade: the upstream relay narrowed the simulcast
 					// to the high copy only, so thin that instead of
 					// switching to a copy that never arrives.
-					fs.selStream = "sim/high"
+					fs.selRK = rkSimHigh
 					fs.thinFactor = max(0.35, share/highRate)
 				}
 			}
-			if fs.selStream != prev {
+			if fs.selRK != prev {
 				fs.needKey = true
 			}
 		case KindZoom:
 			var cum float64
 			sel := 0
 			for layer := 0; ; layer++ {
-				r := s.rate(origin, svcKey(layer))
+				r := s.rate(origin, int(rkSVC)+layer)
 				if r <= 0 && layer >= len(s.prof.SVCSplit) {
 					break
 				}
@@ -761,7 +879,7 @@ func (s *Server) updateSelection(l *leg) {
 			fs.maxLayer = sel
 			fs.thinFactor = 1
 			// Base layer still above the estimate: thin temporally.
-			if base := s.rate(origin, svcKey(0)) * (1 + s.prof.ServerFECOverhead); sel == 0 && base > 0 && share < base {
+			if base := s.rate(origin, int(rkSVC)) * (1 + s.prof.ServerFECOverhead); sel == 0 && base > 0 && share < base {
 				fs.thinFactor = max(0.35, share/base)
 			}
 		case KindTeams:
@@ -770,9 +888,9 @@ func (s *Server) updateSelection(l *leg) {
 	}
 }
 
-func (s *Server) rate(origin, key string) float64 {
-	if re, ok := s.rates[origin][key]; ok {
-		return re.rate
+func (s *Server) rate(origin int32, key int) float64 {
+	if row := s.rates[origin]; key < len(row) {
+		return row[key].rate
 	}
 	return 0
 }
@@ -798,7 +916,8 @@ func (s *Server) padTick(now time.Duration) {
 		for l.padOwed >= maxPayload {
 			l.padOwed -= maxPayload
 			mp := s.pool.get()
-			mp.Origin, mp.StreamID, mp.Padding = s.Name, "pad", true
+			mp.Origin, mp.OriginID = s.Name, s.id
+			mp.StreamID, mp.RK, mp.Padding = "pad", rkPad, true
 			s.send(l, mp, maxPayload+wireOverhead)
 		}
 	}
@@ -845,7 +964,7 @@ func (s *Server) allocTick(time.Duration) {
 		pkt := s.host.NewPacket()
 		pkt.Size = allocWire
 		pkt.From = netem.Addr{Host: s.Name, Port: PortSignal}
-		pkt.To = netem.Addr{Host: origin, Port: PortSignal}
+		pkt.To = netem.Addr{Host: s.reg.name(origin), Port: PortSignal}
 		pkt.Flow = s.flowAlloc
 		pkt.Payload = &AllocMsg{LowBps: alloc}
 		s.host.Send(pkt)

@@ -267,16 +267,27 @@ func TestDeterministicCalls(t *testing.T) {
 	}
 }
 
-// svcKey must be stable for every layer index: the old rune arithmetic
-// ("svc/" + rune('0'+layer)) produced garbage for layer >= 10, which would
-// silently corrupt per-stream rate tracking on deep SVC ladders.
-func TestSVCKeyAllLayers(t *testing.T) {
-	for layer, want := range map[int]string{
-		0: "svc/0", 1: "svc/1", 9: "svc/9",
-		10: "svc/10", 37: "svc/37", 128: "svc/128",
-	} {
-		if got := svcKey(layer); got != want {
-			t.Errorf("svcKey(%d) = %q, want %q", layer, got, want)
+// Rate keys must stay collision-free for every SVC layer index (the dense
+// successor of the old svcKey regression: deep ladders must not corrupt
+// per-stream rate tracking).
+func TestRateKeyAllLayers(t *testing.T) {
+	seen := map[int]uint8{}
+	for _, stream := range []string{"video", "sim/low", "sim/high", "audio", "pad", "fec"} {
+		mp := &MediaPacket{StreamID: stream, RK: streamRK(stream)}
+		k := mp.rateKey()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("rate key collision: %q and rk %d share index %d", stream, prev, k)
+		}
+		seen[k] = mp.RK
+	}
+	for _, layer := range []int{0, 1, 9, 10, 37, 128} {
+		mp := &MediaPacket{StreamID: "svc", RK: streamRK("svc"), Layer: layer}
+		k := mp.rateKey()
+		if k != int(rkSVC)+layer {
+			t.Errorf("rateKey(svc/%d) = %d, want %d", layer, k, int(rkSVC)+layer)
+		}
+		if _, dup := seen[k]; dup {
+			t.Errorf("svc layer %d collides with a base rate key at index %d", layer, k)
 		}
 	}
 }
