@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"vcalab"
+)
+
+// validateFlags checks the cross-flag invariants once, right after
+// flag.Parse and before any experiment runs, so every bad invocation
+// fails fast with one clear message and exit code 2. Before this helper a
+// negative -parallel was silently coerced to "all cores" and a bad
+// -scenario surfaced only after other sweeps had already burned minutes.
+func validateFlags(exp, bench, scenarioName string, parallel, reps int) error {
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = all cores, 1 = sequential); got %d", parallel)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be >= 1; got %d", reps)
+	}
+	switch bench {
+	case "", "scale", "engine":
+	default:
+		return fmt.Errorf("unknown -bench mode %q (want scale or engine)", bench)
+	}
+	if bench != "" {
+		return nil // -bench ignores -experiment and -scenario
+	}
+	if exp != "all" && !knownExperiment(exp) {
+		return fmt.Errorf("unknown experiment %q (try -list)", exp)
+	}
+	if exp == "dynamic" && scenarioName != "all" {
+		if _, err := vcalab.CannedScenario(scenarioName, 2, 1e6); err != nil {
+			return fmt.Errorf("unknown -scenario %q (have %s or all)",
+				scenarioName, strings.Join(vcalab.CannedScenarioNames(), ", "))
+		}
+	}
+	return nil
+}
+
+// knownExperiment reports whether the id is in the experiment registry.
+func knownExperiment(id string) bool {
+	for _, d := range experiments() {
+		if d.name == id {
+			return true
+		}
+	}
+	return false
+}

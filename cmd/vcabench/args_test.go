@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the fail-fast behaviour of the flag validation
+// helper: a negative -parallel and a non-positive -reps used to be
+// silently coerced, and bad -experiment/-bench/-scenario values must exit
+// with a clear message instead of panicking or running the wrong thing.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name            string
+		exp, bench, sc  string
+		parallel, reps  int
+		wantErrMentions string // "" = must pass
+	}{
+		{"defaults ok", "table2", "", "all", 0, 3, ""},
+		{"all ok", "all", "", "all", 4, 1, ""},
+		{"dynamic + canned scenario ok", "dynamic", "", "churn-storm", 0, 3, ""},
+		{"dynamic + all scenarios ok", "dynamic", "", "all", 0, 3, ""},
+		{"bench scale ok", "ignored", "scale", "all", 1, 3, ""},
+		{"bench engine ok", "ignored", "engine", "all", 0, 3, ""},
+
+		{"negative parallel", "table2", "", "all", -1, 3, "-parallel"},
+		{"zero reps", "table2", "", "all", 0, 0, "-reps"},
+		{"negative reps", "table2", "", "all", 0, -3, "-reps"},
+		{"unknown experiment", "fig99", "", "all", 0, 3, "unknown experiment"},
+		{"unknown bench mode", "table2", "bogus", "all", 0, 3, "-bench"},
+		{"unknown scenario", "dynamic", "", "nope", 0, 3, "-scenario"},
+		{"scenario ignored outside dynamic", "table2", "", "nope", 0, 3, ""},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.exp, c.bench, c.sc, c.parallel, c.reps)
+		if c.wantErrMentions == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: no error, want one mentioning %q", c.name, c.wantErrMentions)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErrMentions) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErrMentions)
+		}
+	}
+}
+
+// TestRegistryCoversFlagDocs keeps the registry and the -experiment flag
+// help in sync enough for validateFlags to be the single gate.
+func TestRegistryCoversFlagDocs(t *testing.T) {
+	for _, id := range []string{"table2", "fig1a", "fig15", "impairment", "scale", "dynamic"} {
+		if !knownExperiment(id) {
+			t.Errorf("experiment registry lost %q", id)
+		}
+	}
+	if knownExperiment("all") {
+		t.Error("`all` must not be a registry entry (it is the meta-id)")
+	}
+}

@@ -38,6 +38,7 @@ var (
 	parallel = flag.Int("parallel", 0, "trials run concurrently (0 = all cores, 1 = sequential); results are identical either way")
 	progress = flag.Bool("progress", true, "report per-sweep trial progress on stderr")
 	list     = flag.Bool("list", false, "list experiment ids with descriptions and exit")
+	scen     = flag.String("scenario", "all", "with -experiment dynamic: canned scenario name (see EXPERIMENTS.md) or `all`")
 	bench    = flag.String("bench", "", "benchmark mode: `scale` (sweep at 1 and NumCPU workers, BENCH_scale.json) or `engine` (events/sec + allocs/event, BENCH_engine.json)")
 	jsonOut  = flag.Bool("json", false, "with -bench: write machine-readable results to BENCH_<mode>.json")
 	check    = flag.Bool("check", false, "with -bench engine: exit non-zero if allocs/event exceeds 0.1 or events/s regresses >20% vs the recorded baseline (the CI bench-regression gate)")
@@ -73,13 +74,19 @@ func experiments() []experimentDef {
 		{"fig15", "Fig 15: up/down utilization vs participants, both modes", true, fig15},
 		{"impairment", "§8 extension: random loss and jitter sweep", false, impairment},
 		{"scale", "Cascaded large calls: participants x regions x inter-region capacity", false, scale},
+		{"dynamic", "Dynamic scenarios: churn storms, capacity cliffs, partitions, trace replay (-scenario selects one)", false, dynamic},
 	}
 }
 
 func main() {
 	exp := flag.String("experiment", "table2",
-		"experiment id (see -list): table2, fig1a..fig15, impairment, scale, all")
+		"experiment id (see -list): table2, fig1a..fig15, impairment, scale, dynamic, all")
 	flag.Parse()
+
+	if err := validateFlags(*exp, *bench, *scen, *parallel, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Printf("%-12s %s\n", "id", "description")
@@ -116,16 +123,12 @@ func main() {
 	}
 
 	switch *bench {
-	case "":
 	case "scale":
 		benchScale()
 		return
 	case "engine":
 		benchEngine()
 		return
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -bench mode %q (want scale or engine)\n", *bench)
-		os.Exit(2)
 	}
 
 	if *exp == "all" {
@@ -144,8 +147,8 @@ func main() {
 			return
 		}
 	}
-	fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
-	os.Exit(2)
+	// validateFlags vetted *exp against the same registry.
+	panic(fmt.Sprintf("experiment %q vetted but not registered", *exp))
 }
 
 func caps() []float64 {
@@ -343,6 +346,51 @@ func scale() {
 	for _, p := range threeVCAs() {
 		rs := vcalab.RunScale(scaleConfig(p, *parallel))
 		vcalab.PrintScale(os.Stdout, rs)
+	}
+}
+
+// dynamicConfig is the shared grid for -experiment dynamic: a canned
+// scenario instantiated for the (quick-aware) cascade topology.
+func dynamicConfig(p *vcalab.Profile, scenarioName string) vcalab.DynamicConfig {
+	cfg := vcalab.DynamicConfig{
+		Profile:      p,
+		Participants: 12,
+		Regions:      3,
+		InterMbps:    20,
+		Reps:         *reps,
+		Dur:          90 * time.Second,
+		Warmup:       15 * time.Second,
+		Seed:         *seed,
+		Parallel:     *parallel,
+	}
+	if *quick {
+		cfg.Participants = 8
+		cfg.Regions = 2
+		cfg.InterMbps = 10
+		cfg.Dur = 80 * time.Second
+		cfg.Warmup = 10 * time.Second
+	}
+	sc, err := vcalab.CannedScenario(scenarioName, cfg.Participants, cfg.InterMbps*1e6)
+	if err != nil {
+		// validateFlags vetted the name already; reaching here is a bug.
+		panic(err)
+	}
+	cfg.Scenario = sc
+	return cfg
+}
+
+// dynamic replays the canned scenarios (or the one chosen with -scenario)
+// against every VCA: the changing-conditions workload axis.
+func dynamic() {
+	names := vcalab.CannedScenarioNames()
+	if *scen != "all" {
+		names = []string{*scen}
+	}
+	for _, p := range threeVCAs() {
+		for _, name := range names {
+			r := vcalab.RunDynamic(dynamicConfig(p, name))
+			vcalab.PrintDynamic(os.Stdout, r)
+		}
 	}
 }
 

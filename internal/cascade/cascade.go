@@ -93,6 +93,11 @@ type Mesh struct {
 	// call's routing tables, so placement code never hashes a key.
 	inter [][]*netem.Link
 	pairs [][2]int // deterministic iteration order over inter links
+	// accessUp/accessDown index every host's access-link pair by host
+	// name (clients and SFUs alike), so dynamic scenarios can re-shape
+	// any hop of the built topology mid-simulation. Cold path: lookups
+	// happen at scenario-event cadence, never per packet.
+	accessUp, accessDown map[string]*netem.Link
 }
 
 // Build wires the topology into a multi-router netem lab. SFU hosts are
@@ -101,7 +106,12 @@ func Build(eng *sim.Engine, topo Topology) *Mesh {
 	if len(topo.Regions) == 0 {
 		panic("cascade: topology needs at least one region")
 	}
-	m := &Mesh{Eng: eng, topo: topo, inter: make([][]*netem.Link, len(topo.Regions))}
+	m := &Mesh{
+		Eng: eng, topo: topo,
+		inter:      make([][]*netem.Link, len(topo.Regions)),
+		accessUp:   map[string]*netem.Link{},
+		accessDown: map[string]*netem.Link{},
+	}
 	for i := range m.inter {
 		m.inter[i] = make([]*netem.Link, len(topo.Regions))
 	}
@@ -133,7 +143,8 @@ func Build(eng *sim.Engine, topo Topology) *Mesh {
 			sfuDelay = DefaultSFUDelay
 		}
 		sfu := netem.NewHost(eng, "sfu-"+r.Name)
-		netem.Attach(eng, sfu, m.Routers[ri], netem.LinkConfig{Delay: sfuDelay})
+		up, down := netem.Attach(eng, sfu, m.Routers[ri], netem.LinkConfig{Delay: sfuDelay})
+		m.accessUp[sfu.Name], m.accessDown[sfu.Name] = up, down
 		m.SFUs = append(m.SFUs, sfu)
 		m.routeRemote(ri, sfu.Name)
 
@@ -144,7 +155,8 @@ func Build(eng *sim.Engine, topo Topology) *Mesh {
 		var hosts []*netem.Host
 		for _, name := range r.Clients {
 			h := netem.NewHost(eng, name)
-			netem.Attach(eng, h, m.Routers[ri], access)
+			up, down := netem.Attach(eng, h, m.Routers[ri], access)
+			m.accessUp[name], m.accessDown[name] = up, down
 			hosts = append(hosts, h)
 			m.routeRemote(ri, name)
 		}
@@ -166,6 +178,17 @@ func (m *Mesh) routeRemote(ri int, host string) {
 
 // InterLink returns the directed link from region i to region j.
 func (m *Mesh) InterLink(i, j int) *netem.Link { return m.inter[i][j] }
+
+// Regions reports the number of regions in the built topology.
+func (m *Mesh) Regions() int { return len(m.topo.Regions) }
+
+// AccessUplink returns the named host's host→router access link, or nil
+// for an unknown host.
+func (m *Mesh) AccessUplink(host string) *netem.Link { return m.accessUp[host] }
+
+// AccessDownlink returns the named host's router→host access link, or nil
+// for an unknown host.
+func (m *Mesh) AccessDownlink(host string) *netem.Link { return m.accessDown[host] }
 
 // InterLinks returns every directed inter-region link in a deterministic
 // order (ascending (from, to)).

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vcalab/internal/scenario"
+	"vcalab/internal/vca"
+)
+
+// dynTestConfig is the small grid the determinism and behaviour tests
+// share: 8 participants over 2 regions riding the churn storm.
+func dynTestConfig(p *vca.Profile) DynamicConfig {
+	return DynamicConfig{
+		Profile:      p,
+		Scenario:     scenario.ChurnStorm(8),
+		Participants: 8,
+		Regions:      2,
+		InterMbps:    10,
+		Reps:         2,
+		Dur:          70 * time.Second,
+		Warmup:       10 * time.Second,
+		Seed:         5,
+	}
+}
+
+// TestDynamicDeterministicAcrossParallelism is the acceptance gate: the
+// printed RunDynamic output must be byte-identical at -parallel 1 and 4.
+func TestDynamicDeterministicAcrossParallelism(t *testing.T) {
+	out := func(par int) string {
+		cfg := dynTestConfig(vca.Meet())
+		cfg.Parallel = par
+		var buf strings.Builder
+		PrintDynamic(&buf, RunDynamic(cfg))
+		return buf.String()
+	}
+	seq, par := out(1), out(4)
+	if seq != par {
+		t.Errorf("dynamic output differs across parallelism:\n-- parallel 1 --\n%s-- parallel 4 --\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "churn-storm") {
+		t.Errorf("output does not name the scenario:\n%s", seq)
+	}
+}
+
+// TestDynamicReportsRecovery checks the recovery machinery end to end on
+// the capacity-cliff scenario: the cliff depresses C1's download, and the
+// restore event recovers within the run in at least one repetition.
+func TestDynamicReportsRecovery(t *testing.T) {
+	cfg := dynTestConfig(vca.Teams())
+	cfg.Scenario = scenario.CapacityCliff(1e6, 10e6)
+	cfg.Dur = 80 * time.Second
+	r := RunDynamic(cfg)
+	if len(r.Events) != 1 {
+		t.Fatalf("capacity-cliff reports %d recovery events, want 1", len(r.Events))
+	}
+	ev := r.Events[0]
+	if ev.Label != "cliff-restored" {
+		t.Errorf("recovery event label %q, want cliff-restored", ev.Label)
+	}
+	if ev.Recovered == 0 {
+		t.Error("no repetition recovered after the cliff restore")
+	}
+	if ev.Recovered > 0 && ev.TTRSec.Mean <= 0 {
+		t.Errorf("recovered with non-positive mean TTR %v", ev.TTRSec.Mean)
+	}
+	if r.DownMbps.Mean <= 0 || r.LatP50Ms.Mean <= 0 {
+		t.Errorf("empty aggregate metrics: down %v lat %v", r.DownMbps.Mean, r.LatP50Ms.Mean)
+	}
+}

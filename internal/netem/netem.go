@@ -190,6 +190,15 @@ func (l *Link) SetRate(bps float64) { l.cfg.RateBps = bps }
 // SetQueueBytes changes the drop-tail queue limit.
 func (l *Link) SetQueueBytes(n int) { l.cfg.QueueBytes = n }
 
+// Delay returns the current one-way propagation delay.
+func (l *Link) Delay() time.Duration { return l.cfg.Delay }
+
+// SetDelay changes the propagation delay mid-simulation (a route change, a
+// WAN re-path). Packets already propagating keep the delay they left with;
+// packets entering the wire afterwards use the new one, so a delay cut can
+// reorder across the change instant exactly as a real re-route would.
+func (l *Link) SetDelay(d time.Duration) { l.cfg.Delay = d }
+
 // QueuedBytes reports the bytes currently waiting (not the one in service).
 func (l *Link) QueuedBytes() int { return l.queuedSize }
 

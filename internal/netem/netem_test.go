@@ -391,3 +391,26 @@ func TestSetImpairment(t *testing.T) {
 		t.Errorf("cleared impairment still dropping")
 	}
 }
+
+// TestSetDelayMidSimulation checks the WAN re-path semantics: packets
+// already propagating keep the delay they left with, packets entering
+// the wire afterwards use the new one.
+func TestSetDelayMidSimulation(t *testing.T) {
+	eng := sim.New(11)
+	var arrivals []time.Duration
+	l := NewLink(eng, "wan", LinkConfig{Delay: 50 * time.Millisecond},
+		HandlerFunc(func(p *Packet) { arrivals = append(arrivals, eng.Now()) }))
+	l.Send(&Packet{Size: 100}) // departs at 0 under the 50 ms delay
+	eng.Schedule(10*time.Millisecond, func() {
+		l.SetDelay(5 * time.Millisecond)
+		l.Send(&Packet{Size: 100}) // departs at 10 ms under the 5 ms delay
+	})
+	eng.Run()
+	if l.Delay() != 5*time.Millisecond {
+		t.Errorf("Delay() = %v after SetDelay, want 5ms", l.Delay())
+	}
+	want := []time.Duration{15 * time.Millisecond, 50 * time.Millisecond}
+	if len(arrivals) != 2 || arrivals[0] != want[0] || arrivals[1] != want[1] {
+		t.Errorf("arrivals = %v, want %v (delay cut reorders across the change)", arrivals, want)
+	}
+}

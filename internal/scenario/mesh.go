@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"vcalab/internal/cascade"
+	"vcalab/internal/netem"
+)
+
+// meshResolver adapts a built cascade mesh to the LinkResolver interface.
+type meshResolver struct{ m *cascade.Mesh }
+
+// MeshLinks returns a LinkResolver over a built cascade mesh: client and
+// SFU access links by host name, inter-region links by region index pair.
+func MeshLinks(m *cascade.Mesh) LinkResolver { return meshResolver{m} }
+
+// ResolveLink implements LinkResolver. Out-of-range region indices and
+// unknown hosts resolve to nothing, so a scenario written for a larger
+// topology degrades to a no-op rather than a panic.
+func (r meshResolver) ResolveLink(ref LinkRef) []*netem.Link {
+	n := r.m.Regions()
+	switch ref.Kind {
+	case LinkClientUp:
+		if l := r.m.AccessUplink(ref.Client); l != nil {
+			return []*netem.Link{l}
+		}
+	case LinkClientDown:
+		if l := r.m.AccessDownlink(ref.Client); l != nil {
+			return []*netem.Link{l}
+		}
+	case LinkInter:
+		if ref.From != ref.To && ref.From >= 0 && ref.To >= 0 && ref.From < n && ref.To < n {
+			return []*netem.Link{r.m.InterLink(ref.From, ref.To)}
+		}
+	case LinkInterPair:
+		if ref.From != ref.To && ref.From >= 0 && ref.To >= 0 && ref.From < n && ref.To < n {
+			return []*netem.Link{r.m.InterLink(ref.From, ref.To), r.m.InterLink(ref.To, ref.From)}
+		}
+	case LinkInterAll:
+		return r.m.InterLinks()
+	}
+	return nil
+}

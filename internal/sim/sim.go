@@ -188,6 +188,11 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Processed reports how many events have executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// Live reports how many pooled events are currently handed out and not yet
+// recycled. After a full drain (Run returning with nothing pending) it must
+// be zero; tests use it as the pooled-event leak detector.
+func (e *Engine) Live() int { return e.live }
+
 // alloc hands out a pooled event, growing the pool by a block when empty.
 func (e *Engine) alloc() *event {
 	if e.free == nil {

@@ -132,8 +132,18 @@ func Percentile(vs []float64, p float64) float64 {
 	return percentileSorted(sorted, p)
 }
 
-// percentileSorted is Percentile's kernel over pre-sorted data.
+// percentileSorted is Percentile's kernel over pre-sorted data. It tolerates
+// every input Percentile's length guard does not rule out: an empty slice
+// yields 0 (the package-wide empty convention), a NaN quantile yields NaN
+// (propagated, never an index), and out-of-range quantiles clamp to the
+// extremes.
 func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -232,3 +232,62 @@ func TestQuickMeterConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPercentileEdgeCases pins the boundary behaviour of Percentile and
+// SortedPercentiles: empty input, a single sample, the q=0/q=100 extremes,
+// out-of-range and NaN quantiles must all return a defined value — never
+// panic or index out of range. The NaN row is the regression case: the
+// rank-to-index conversion used to turn NaN into a huge negative index.
+func TestPercentileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		vs   []float64
+		q    float64
+		want float64
+	}{
+		{"empty q=50", nil, 50, 0},
+		{"empty q=0", []float64{}, 0, 0},
+		{"empty q=100", []float64{}, 100, 0},
+		{"single q=0", []float64{5}, 0, 5},
+		{"single q=50", []float64{5}, 50, 5},
+		{"single q=100", []float64{5}, 100, 5},
+		{"single q=NaN", []float64{5}, nan, nan},
+		{"q below range clamps to min", []float64{3, 1, 2}, -5, 1},
+		{"q above range clamps to max", []float64{3, 1, 2}, 200, 3},
+		{"q=0 is min", []float64{4, 2, 8}, 0, 2},
+		{"q=100 is max", []float64{4, 2, 8}, 100, 8},
+		{"q=NaN propagates", []float64{1, 2}, nan, nan},
+	}
+	for _, c := range cases {
+		got := Percentile(append([]float64(nil), c.vs...), c.q)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("Percentile %s = %v, want NaN", c.name, got)
+			}
+		} else if got != c.want {
+			t.Errorf("Percentile %s = %v, want %v", c.name, got, c.want)
+		}
+		sp := SortedPercentiles(append([]float64(nil), c.vs...), c.q)
+		if len(c.vs) == 0 {
+			if sp != nil {
+				t.Errorf("SortedPercentiles %s = %v, want nil", c.name, sp)
+			}
+			continue
+		}
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(sp[0]) {
+				t.Errorf("SortedPercentiles %s = %v, want NaN", c.name, sp[0])
+			}
+		} else if sp[0] != c.want {
+			t.Errorf("SortedPercentiles %s = %v, want %v", c.name, sp[0], c.want)
+		}
+	}
+	// The internal kernel itself must tolerate an empty slice at every
+	// quantile (future callers may skip the public length guards).
+	for _, q := range []float64{-1, 0, 50, 100, 101, nan} {
+		if got := percentileSorted(nil, q); got != 0 {
+			t.Errorf("percentileSorted(nil, %v) = %v, want 0", q, got)
+		}
+	}
+}

@@ -324,6 +324,7 @@ func (c *Call) Leave(name string) {
 	c.reg.release(name)
 	cl.id = noID
 	c.applyLayout(c.mode)
+	c.refreshSelection()
 }
 
 // Rejoin re-attaches a client that previously left. The client draws a
@@ -354,8 +355,31 @@ func (c *Call) Rejoin(name string) {
 		s.setTotal(n)
 	}
 	c.applyLayout(c.mode)
+	c.refreshSelection()
 	if c.started {
 		cl.start(cl.TierBps())
+	}
+}
+
+// SetMode switches the call's viewing modality mid-flight (every
+// participant pinning the speaker, or un-pinning back to gallery): the
+// layout re-flows, sender budgets update, and every server's selection
+// state refreshes immediately rather than waiting for the next control
+// tick.
+func (c *Call) SetMode(mode ViewMode) {
+	if c.mode == mode {
+		return
+	}
+	c.mode = mode
+	c.applyLayout(mode)
+	c.refreshSelection()
+}
+
+// refreshSelection re-runs selection on every server after a mid-call
+// layout or membership change (no-op while the call is not started).
+func (c *Call) refreshSelection() {
+	for _, s := range c.Servers {
+		s.refreshSelection()
 	}
 }
 
@@ -371,6 +395,12 @@ func (c *Call) resetSlot(id int32) {
 		}
 	}
 }
+
+// IDSpace reports the size of the call's participant-ID space — the
+// density ceiling of every ID-indexed routing table. Leave/Rejoin recycle
+// IDs through the registry free list, so it must never grow past the
+// call's peak population; churn tests assert exactly that.
+func (c *Call) IDSpace() int { return c.reg.cap() }
 
 // Active reports whether the named client is currently in the call.
 func (c *Call) Active(name string) bool {

@@ -125,8 +125,29 @@ type fwdState struct {
 	fecOwed    float64
 }
 
+// newFwdState is the construction-time forwarding state: the maxLayer
+// sentinel (1 << 10) and high-copy selection deliberately forward
+// everything until the first control tick has measured arrival rates —
+// receiver estimates start optimistic, and the first 100 ms of a call
+// carry the keyframes every receiver needs.
 func newFwdState() *fwdState {
 	return &fwdState{curInFrame: -1, selRK: rkSimHigh, maxLayer: 1 << 10, thinFactor: 1}
+}
+
+// newFwd builds forwarding state for one (receiver, origin) pair. In a
+// running call the construction sentinel would be stale — it blasts every
+// SVC layer (or the high simulcast copy) at receivers whose estimate may
+// not sustain even the base layer — so mid-call subscriptions (join,
+// rejoin, cascade re-attach) start conservatively at the base layer / low
+// copy and upgrade once the origin's arrival rates are measured, the way
+// production SFU forwarders admit a new subscriber.
+func (s *Server) newFwd() *fwdState {
+	fs := newFwdState()
+	if s.running {
+		fs.maxLayer = 0
+		fs.selRK = rkSimLow
+	}
+	return fs
 }
 
 type rateEst struct {
@@ -291,7 +312,7 @@ func (s *Server) addRemoteOrigin(peer, origin int32) {
 	}
 	for _, c := range s.clients {
 		if l := s.legs[c]; l.fwd[origin] == nil {
-			l.fwd[origin] = newFwdState()
+			l.fwd[origin] = s.newFwd()
 		}
 	}
 	s.fanDirty = true
@@ -345,12 +366,12 @@ func (s *Server) addClient(id int32) {
 	l := s.newLeg(id, false)
 	for _, o := range s.clients {
 		if o != id {
-			l.fwd[o] = newFwdState()
+			l.fwd[o] = s.newFwd()
 		}
 	}
 	for o := range s.remote {
 		if s.remote[o] != noID {
-			l.fwd[o] = newFwdState()
+			l.fwd[o] = s.newFwd()
 		}
 	}
 	s.legs[id] = l
@@ -359,7 +380,7 @@ func (s *Server) addClient(id int32) {
 			continue
 		}
 		if ol := s.legs[other]; ol != nil && ol.fwd[id] == nil {
-			ol.fwd[id] = newFwdState()
+			ol.fwd[id] = s.newFwd()
 		}
 	}
 	s.rebuildLegOrder()
@@ -798,6 +819,23 @@ func (s *Server) controlTick(now time.Duration) {
 	}
 }
 
+// refreshSelection recomputes every leg's selection state immediately, in
+// controlTick's leg order. The call invokes it after mid-call churn or a
+// layout reshape: forwarding state created mid-call starts from the
+// build-time "forward everything" sentinel (maxLayer 1<<10, high simulcast
+// copy), and letting that sentinel live until the next 100 ms control tick
+// forwarded every SVC layer to receivers whose estimate could not even
+// sustain the base layer. No-op before the server starts, so call
+// construction keeps its deliberate first-tick sentinel behaviour.
+func (s *Server) refreshSelection() {
+	if !s.running {
+		return
+	}
+	for _, receiver := range s.legOrder {
+		s.updateSelection(s.legs[receiver])
+	}
+}
+
 // updateSelection recomputes stream/layer/thinning choices for one leg.
 func (s *Server) updateSelection(l *leg) {
 	if l.relay && l.ctrl == nil {
@@ -861,26 +899,40 @@ func (s *Server) updateSelection(l *leg) {
 				fs.needKey = true
 			}
 		case KindZoom:
+			base := s.rate(origin, int(rkSVC))
+			if base <= 0 {
+				// No measured arrivals for this origin yet — its rate row
+				// is fresh (call construction, or a mid-call (re)join).
+				// Keep the current selection rather than promoting
+				// unmeasured layers on credit: at construction that is
+				// the optimistic forward-everything sentinel; for a
+				// subscription created in a running call it is the
+				// conservative base-only default (see newFwd). The old
+				// walk advanced past zero-rate layers for free here, so
+				// a rejoined origin was forwarded at every layer even to
+				// a receiver whose estimate sat below the base layer.
+				fs.thinFactor = 1
+				continue
+			}
+			// Select the highest layer whose cumulative (FEC-inclusive)
+			// arrival rate fits the receiver's share, floored at the base
+			// layer. A not-yet-measured upper layer (zero rate) adds
+			// nothing to cum, so the walk stays optimistic about layers
+			// it has no evidence against — bounded to one 100 ms tick,
+			// and never past a share the measured layers already exceed.
 			var cum float64
 			sel := 0
-			for layer := 0; ; layer++ {
-				r := s.rate(origin, int(rkSVC)+layer)
-				if r <= 0 && layer >= len(s.prof.SVCSplit) {
-					break
-				}
-				cum += r * (1 + s.prof.ServerFECOverhead)
-				if layer == 0 || cum <= share {
+			for layer := 0; layer < len(s.prof.SVCSplit); layer++ {
+				cum += s.rate(origin, int(rkSVC)+layer) * (1 + s.prof.ServerFECOverhead)
+				if layer > 0 && cum <= share {
 					sel = layer
-				}
-				if layer >= len(s.prof.SVCSplit)-1 {
-					break
 				}
 			}
 			fs.maxLayer = sel
 			fs.thinFactor = 1
 			// Base layer still above the estimate: thin temporally.
-			if base := s.rate(origin, int(rkSVC)) * (1 + s.prof.ServerFECOverhead); sel == 0 && base > 0 && share < base {
-				fs.thinFactor = max(0.35, share/base)
+			if fecBase := base * (1 + s.prof.ServerFECOverhead); sel == 0 && share < fecBase {
+				fs.thinFactor = max(0.35, share/fecBase)
 			}
 		case KindTeams:
 			fs.thinFactor = s.prof.ForwardFactor(s.n)

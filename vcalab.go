@@ -35,6 +35,7 @@ import (
 	"vcalab/internal/experiment"
 	"vcalab/internal/netem"
 	"vcalab/internal/runner"
+	"vcalab/internal/scenario"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/vca"
@@ -117,6 +118,56 @@ var (
 	NewCascadedCall = vca.NewCascadedCall
 )
 
+// Dynamic-scenario subsystem (internal/scenario): declarative,
+// deterministic event timelines — participant churn waves, per-link
+// capacity/delay/loss traces, mid-call layout reshapes — bound to a
+// running call and driven through pooled engine events.
+type (
+	// Scenario is a named, ordered event timeline (pure data).
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one timeline entry; build with ScenarioLeave,
+	// ScenarioRejoin, ScenarioMode, ScenarioShape or ScenarioTrace.
+	ScenarioEvent = scenario.Event
+	// ScenarioTimeline is a scenario bound to an engine, call and
+	// topology.
+	ScenarioTimeline = scenario.Timeline
+	// LinkShape is one link reconfiguration (rate/delay/loss aspects).
+	LinkShape = scenario.Shape
+	// ScenarioLinkRef names a link of the bound topology declaratively.
+	ScenarioLinkRef = scenario.LinkRef
+	// LinkResolver maps ScenarioLinkRefs to concrete links.
+	LinkResolver = scenario.LinkResolver
+	// LinkTraceStep is one segment of a per-link capacity trace.
+	LinkTraceStep = scenario.TraceStep
+)
+
+// Scenario link-target kinds (ScenarioLinkRef.Kind).
+const (
+	LinkClientUp   = scenario.LinkClientUp
+	LinkClientDown = scenario.LinkClientDown
+	LinkInter      = scenario.LinkInter
+	LinkInterPair  = scenario.LinkInterPair
+	LinkInterAll   = scenario.LinkInterAll
+)
+
+var (
+	// NewScenarioTimeline binds a scenario; Start it before (or after)
+	// Call.Start.
+	NewScenarioTimeline = scenario.New
+	// MeshLinks resolves scenario link refs against a built cascade mesh.
+	MeshLinks = scenario.MeshLinks
+	// Scenario event constructors.
+	ScenarioLeave  = scenario.Leave
+	ScenarioRejoin = scenario.Rejoin
+	ScenarioMode   = scenario.Mode
+	ScenarioShape  = scenario.ShapeLink
+	ScenarioTrace  = scenario.Trace
+	// CannedScenario instantiates a canned scenario by name;
+	// CannedScenarioNames lists them.
+	CannedScenario      = scenario.Canned
+	CannedScenarioNames = scenario.CannedNames
+)
+
 // Experiment harness.
 type (
 	// Lab is the paper's testbed topology (§2.2 / Fig 7).
@@ -145,6 +196,11 @@ type (
 	// (participants × regions × inter-region capacity).
 	ScaleConfig = experiment.ScaleConfig
 	ScaleResult = experiment.ScaleResult
+	// DynamicConfig/DynamicResult drive the dynamic-scenario workload:
+	// one scenario timeline replayed against a cascaded call, reporting
+	// freeze ratio, per-event recovery time and latency percentiles.
+	DynamicConfig = experiment.DynamicConfig
+	DynamicResult = experiment.DynamicResult
 	// BandwidthTrace replays a time-varying access-link profile (the §8
 	// "other network contexts" extension); TraceStep is one segment.
 	BandwidthTrace = experiment.BandwidthTrace
@@ -200,6 +256,7 @@ var (
 	RunModality    = experiment.RunModality
 	RunImpairment  = experiment.RunImpairment
 	RunScale       = experiment.RunScale
+	RunDynamic     = experiment.RunDynamic
 	RunEngineBench = experiment.RunEngineBench
 	RunTrace       = experiment.RunTrace
 	RunTraces      = experiment.RunTraces
@@ -220,6 +277,7 @@ var (
 	PrintModality        = experiment.PrintModality
 	PrintImpairment      = experiment.PrintImpairment
 	PrintScale           = experiment.PrintScale
+	PrintDynamic         = experiment.PrintDynamic
 )
 
 // Topology delays (re-exported from the experiment package).
