@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"vcalab"
@@ -12,12 +13,18 @@ import (
 // fails fast with one clear message and exit code 2. Before this helper a
 // negative -parallel was silently coerced to "all cores" and a bad
 // -scenario surfaced only after other sweeps had already burned minutes.
-func validateFlags(exp, bench, scenarioName string, parallel, reps int) error {
+func validateFlags(exp, bench, scenarioName string, parallel, reps, fuzz int) error {
 	if parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 = all cores, 1 = sequential); got %d", parallel)
 	}
 	if reps < 1 {
 		return fmt.Errorf("-reps must be >= 1; got %d", reps)
+	}
+	if fuzz < 0 {
+		return fmt.Errorf("-fuzz must be >= 0 (N generated scenarios to replay); got %d", fuzz)
+	}
+	if fuzz > 0 {
+		return nil // -fuzz ignores -experiment, -bench and -scenario
 	}
 	switch bench {
 	case "", "scale", "engine":
@@ -31,12 +38,35 @@ func validateFlags(exp, bench, scenarioName string, parallel, reps int) error {
 		return fmt.Errorf("unknown experiment %q (try -list)", exp)
 	}
 	if exp == "dynamic" && scenarioName != "all" {
+		if _, ok, err := genScenarioSeed(scenarioName); ok {
+			return err
+		}
 		if _, err := vcalab.CannedScenario(scenarioName, 2, 1e6); err != nil {
-			return fmt.Errorf("unknown -scenario %q (have %s or all)",
+			return fmt.Errorf("unknown -scenario %q (have %s, gen[:seed], or all)",
 				scenarioName, strings.Join(vcalab.CannedScenarioNames(), ", "))
 		}
 	}
 	return nil
+}
+
+// genScenarioSeed parses a -scenario value of the form `gen` or
+// `gen:<seed>`. ok reports whether the name asks for a generated
+// scenario at all; err flags a malformed seed suffix. A bare `gen`
+// falls back to the -seed flag, so `-scenario gen -seed 7` and
+// `-scenario gen:7` replay the same timeline.
+func genScenarioSeed(name string) (genSeed int64, ok bool, err error) {
+	if name == "gen" {
+		return *seed, true, nil
+	}
+	rest, found := strings.CutPrefix(name, "gen:")
+	if !found {
+		return 0, false, nil
+	}
+	s, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, true, fmt.Errorf("bad -scenario %q: seed %q is not an integer", name, rest)
+	}
+	return s, true, nil
 }
 
 // knownExperiment reports whether the id is in the experiment registry.

@@ -11,28 +11,34 @@ import (
 // with a clear message instead of panicking or running the wrong thing.
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		name            string
-		exp, bench, sc  string
-		parallel, reps  int
-		wantErrMentions string // "" = must pass
+		name                 string
+		exp, bench, sc       string
+		parallel, reps, fuzz int
+		wantErrMentions      string // "" = must pass
 	}{
-		{"defaults ok", "table2", "", "all", 0, 3, ""},
-		{"all ok", "all", "", "all", 4, 1, ""},
-		{"dynamic + canned scenario ok", "dynamic", "", "churn-storm", 0, 3, ""},
-		{"dynamic + all scenarios ok", "dynamic", "", "all", 0, 3, ""},
-		{"bench scale ok", "ignored", "scale", "all", 1, 3, ""},
-		{"bench engine ok", "ignored", "engine", "all", 0, 3, ""},
+		{"defaults ok", "table2", "", "all", 0, 3, 0, ""},
+		{"all ok", "all", "", "all", 4, 1, 0, ""},
+		{"dynamic + canned scenario ok", "dynamic", "", "churn-storm", 0, 3, 0, ""},
+		{"dynamic + all scenarios ok", "dynamic", "", "all", 0, 3, 0, ""},
+		{"dynamic + generated scenario ok", "dynamic", "", "gen", 0, 3, 0, ""},
+		{"dynamic + seeded generated scenario ok", "dynamic", "", "gen:42", 0, 3, 0, ""},
+		{"dynamic + negative gen seed ok", "dynamic", "", "gen:-7", 0, 3, 0, ""},
+		{"bench scale ok", "ignored", "scale", "all", 1, 3, 0, ""},
+		{"bench engine ok", "ignored", "engine", "all", 0, 3, 0, ""},
+		{"fuzz ok", "ignored", "", "ignored", 0, 3, 50, ""},
 
-		{"negative parallel", "table2", "", "all", -1, 3, "-parallel"},
-		{"zero reps", "table2", "", "all", 0, 0, "-reps"},
-		{"negative reps", "table2", "", "all", 0, -3, "-reps"},
-		{"unknown experiment", "fig99", "", "all", 0, 3, "unknown experiment"},
-		{"unknown bench mode", "table2", "bogus", "all", 0, 3, "-bench"},
-		{"unknown scenario", "dynamic", "", "nope", 0, 3, "-scenario"},
-		{"scenario ignored outside dynamic", "table2", "", "nope", 0, 3, ""},
+		{"negative parallel", "table2", "", "all", -1, 3, 0, "-parallel"},
+		{"zero reps", "table2", "", "all", 0, 0, 0, "-reps"},
+		{"negative reps", "table2", "", "all", 0, -3, 0, "-reps"},
+		{"negative fuzz", "table2", "", "all", 0, 3, -1, "-fuzz"},
+		{"unknown experiment", "fig99", "", "all", 0, 3, 0, "unknown experiment"},
+		{"unknown bench mode", "table2", "bogus", "all", 0, 3, 0, "-bench"},
+		{"unknown scenario", "dynamic", "", "nope", 0, 3, 0, "-scenario"},
+		{"malformed gen seed", "dynamic", "", "gen:xyz", 0, 3, 0, "-scenario"},
+		{"scenario ignored outside dynamic", "table2", "", "nope", 0, 3, 0, ""},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.exp, c.bench, c.sc, c.parallel, c.reps)
+		err := validateFlags(c.exp, c.bench, c.sc, c.parallel, c.reps, c.fuzz)
 		if c.wantErrMentions == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)

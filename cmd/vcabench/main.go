@@ -38,7 +38,8 @@ var (
 	parallel = flag.Int("parallel", 0, "trials run concurrently (0 = all cores, 1 = sequential); results are identical either way")
 	progress = flag.Bool("progress", true, "report per-sweep trial progress on stderr")
 	list     = flag.Bool("list", false, "list experiment ids with descriptions and exit")
-	scen     = flag.String("scenario", "all", "with -experiment dynamic: canned scenario name (see EXPERIMENTS.md) or `all`")
+	scen     = flag.String("scenario", "all", "with -experiment dynamic: canned scenario name (see EXPERIMENTS.md), `gen[:seed]` for a generated one, or `all`")
+	fuzzN    = flag.Int("fuzz", 0, "replay N seeded generated scenarios through the invariant harness (seeds -seed..-seed+N-1); exits non-zero and prints the offending seed on any violation")
 	bench    = flag.String("bench", "", "benchmark mode: `scale` (sweep at 1 and NumCPU workers, BENCH_scale.json) or `engine` (events/sec + allocs/event, BENCH_engine.json)")
 	jsonOut  = flag.Bool("json", false, "with -bench: write machine-readable results to BENCH_<mode>.json")
 	check    = flag.Bool("check", false, "with -bench engine: exit non-zero if allocs/event exceeds 0.1 or events/s regresses >20% vs the recorded baseline (the CI bench-regression gate)")
@@ -83,7 +84,7 @@ func main() {
 		"experiment id (see -list): table2, fig1a..fig15, impairment, scale, dynamic, all")
 	flag.Parse()
 
-	if err := validateFlags(*exp, *bench, *scen, *parallel, *reps); err != nil {
+	if err := validateFlags(*exp, *bench, *scen, *parallel, *reps, *fuzzN); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -120,6 +121,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "[%s] %d trials done\n", label, total)
 			}
 		})
+	}
+
+	if *fuzzN > 0 {
+		runFuzz()
+		return
 	}
 
 	switch *bench {
@@ -349,8 +355,30 @@ func scale() {
 	}
 }
 
-// dynamicConfig is the shared grid for -experiment dynamic: a canned
-// scenario instantiated for the (quick-aware) cascade topology.
+// runFuzz is the -fuzz N mode: replay N seeded generated scenarios
+// through the scenario invariant harness and exit non-zero on any
+// violation, printing the offending seed so `-fuzz 1 -seed S`
+// reproduces it. -quick shrinks the per-seed call; the seeds and the
+// verdict for a given (seed, quick) pair are identical at any -parallel.
+func runFuzz() {
+	cfg := vcalab.FuzzConfig{
+		N:        *fuzzN,
+		Seed:     *seed,
+		Parallel: *parallel,
+	}
+	if *quick {
+		cfg.Participants = 6
+		cfg.Dur = 30 * time.Second
+	}
+	r := vcalab.RunFuzz(cfg)
+	vcalab.PrintFuzz(os.Stdout, r)
+	if len(r.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// dynamicConfig is the shared grid for -experiment dynamic: a canned or
+// generated scenario instantiated for the (quick-aware) cascade topology.
 func dynamicConfig(p *vcalab.Profile, scenarioName string) vcalab.DynamicConfig {
 	cfg := vcalab.DynamicConfig{
 		Profile:      p,
@@ -370,6 +398,19 @@ func dynamicConfig(p *vcalab.Profile, scenarioName string) vcalab.DynamicConfig 
 		cfg.Dur = 80 * time.Second
 		cfg.Warmup = 10 * time.Second
 	}
+	if genSeed, ok, err := genScenarioSeed(scenarioName); ok {
+		if err != nil {
+			// validateFlags vetted the name already; reaching here is a bug.
+			panic(err)
+		}
+		cfg.Scenario = vcalab.GenerateScenario(genSeed, vcalab.GenScenarioConfig{
+			Participants: cfg.Participants,
+			Regions:      cfg.Regions,
+			InterBps:     cfg.InterMbps * 1e6,
+			Dur:          cfg.Dur,
+		})
+		return cfg
+	}
 	sc, err := vcalab.CannedScenario(scenarioName, cfg.Participants, cfg.InterMbps*1e6)
 	if err != nil {
 		// validateFlags vetted the name already; reaching here is a bug.
@@ -379,8 +420,10 @@ func dynamicConfig(p *vcalab.Profile, scenarioName string) vcalab.DynamicConfig 
 	return cfg
 }
 
-// dynamic replays the canned scenarios (or the one chosen with -scenario)
-// against every VCA: the changing-conditions workload axis.
+// dynamic replays the canned scenarios (or the one chosen with -scenario,
+// including `gen[:seed]` for a generated timeline) against every VCA: the
+// changing-conditions workload axis. `all` stays the five canned
+// scenarios so existing outputs are untouched.
 func dynamic() {
 	names := vcalab.CannedScenarioNames()
 	if *scen != "all" {

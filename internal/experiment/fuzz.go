@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vcalab/internal/runner"
+	"vcalab/internal/scenario"
+	"vcalab/internal/vca"
+)
+
+// FuzzConfig drives the scenario-fuzz smoke: N seeded generated scenarios
+// (internal/scenario.Generate) replayed through the invariant harness,
+// trials in parallel. Seeds are consecutive (Seed, Seed+1, ...), so a
+// failure printed as seed S reproduces exactly with `-fuzz 1 -seed S`.
+type FuzzConfig struct {
+	// Profiles cycle per seed (seed S runs Profiles[S % len]); default
+	// Meet, Teams, Zoom so every VCA sees a share of the space.
+	Profiles []*vca.Profile
+	// N is how many seeds to replay.
+	N int
+	// Seed is the first scenario seed.
+	Seed int64
+	// Participants/Regions/InterMbps/Dur describe the harness call
+	// (defaults 8 / 2 / 10 / 45s).
+	Participants int
+	Regions      int
+	InterMbps    float64
+	Dur          time.Duration
+	// Parallel is the trial parallelism; 0 = package default.
+	Parallel int
+}
+
+func (c *FuzzConfig) defaults() {
+	if len(c.Profiles) == 0 {
+		c.Profiles = []*vca.Profile{vca.Meet(), vca.Teams(), vca.Zoom()}
+	}
+	if c.N == 0 {
+		c.N = 50
+	}
+	if c.Participants == 0 {
+		c.Participants = 8
+	}
+	if c.Regions == 0 {
+		c.Regions = 2
+	}
+	if c.InterMbps == 0 {
+		c.InterMbps = 10
+	}
+	if c.Dur == 0 {
+		c.Dur = 45 * time.Second
+	}
+}
+
+// FuzzFailure is one seed whose replay violated an invariant.
+type FuzzFailure struct {
+	Seed       int64
+	Profile    string
+	Scenario   string
+	Events     int
+	Violations []scenario.Violation
+}
+
+// FuzzResult aggregates one fuzz run.
+type FuzzResult struct {
+	N      int
+	Events int // total events replayed across all scenarios
+	// Failures lists violating seeds in seed order; empty means the whole
+	// batch upheld every invariant.
+	Failures []FuzzFailure
+}
+
+// RunFuzz replays N seeded generated scenarios through the invariant
+// harness, fanning seeds across the worker pool. Results aggregate in
+// seed order, so output is byte-identical at any Parallel.
+func RunFuzz(cfg FuzzConfig) FuzzResult {
+	cfg.defaults()
+	type fuzzTrial struct {
+		events  int
+		failure *FuzzFailure
+	}
+	trials := runner.Map(pool(cfg.Parallel, "fuzz"), cfg.N, func(i int) fuzzTrial {
+		seed := cfg.Seed + int64(i)
+		// The profile is a function of the seed (not the trial index), so
+		// `-fuzz 1 -seed S` replays a failure under the same VCA.
+		prof := cfg.Profiles[int(uint64(seed)%uint64(len(cfg.Profiles)))]
+		sc, violations := scenario.FuzzOne(seed, scenario.HarnessConfig{
+			Profile:      prof,
+			Participants: cfg.Participants,
+			Regions:      cfg.Regions,
+			InterBps:     cfg.InterMbps * 1e6,
+			Dur:          cfg.Dur,
+			Seed:         seed,
+		})
+		t := fuzzTrial{events: len(sc.Events)}
+		if len(violations) > 0 {
+			t.failure = &FuzzFailure{
+				Seed: seed, Profile: prof.Name, Scenario: sc.Name,
+				Events: len(sc.Events), Violations: violations,
+			}
+		}
+		return t
+	})
+
+	res := FuzzResult{N: cfg.N}
+	for _, t := range trials {
+		res.Events += t.events
+		if t.failure != nil {
+			res.Failures = append(res.Failures, *t.failure)
+		}
+	}
+	return res
+}
+
+// PrintFuzz writes a fuzz run's verdict; each failure carries the exact
+// flags that reproduce it locally.
+func PrintFuzz(w io.Writer, r FuzzResult) {
+	fmt.Fprintf(w, "# scenario fuzz: %d generated scenarios, %d events replayed\n", r.N, r.Events)
+	if len(r.Failures) == 0 {
+		fmt.Fprintf(w, "all invariants held (event pool, ID aliasing, freeze accounting, packet pool)\n")
+		return
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "FAIL seed %d (%s, %s, %d events):\n", f.Seed, f.Profile, f.Scenario, f.Events)
+		for _, v := range f.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+		fmt.Fprintf(w, "  reproduce: vcabench -fuzz 1 -seed %d\n", f.Seed)
+	}
+	fmt.Fprintf(w, "%d/%d seeds violated invariants\n", len(r.Failures), r.N)
+}

@@ -1,0 +1,420 @@
+// Heterogeneous last-mile link models.
+//
+// The paper measures VCAs over a fixed-rate token bucket, but its §8
+// future work points at the access networks real calls ride: WiFi with
+// bursty, correlated loss; cellular links whose capacity steps through a
+// drive trace and blanks out across handovers; home routers with buffers
+// deep enough that loss-based senders see seconds of queueing first.
+// This file models those three regimes on top of the base Link:
+//
+//   - GilbertElliott: a two-state Markov loss process installed with
+//     Link.SetLossModel — loss arrives in bursts whose length and density
+//     are set by the chain's transition probabilities, not independently
+//     per packet.
+//   - Cellular: a trace/step-driven capacity driver with handover gaps,
+//     built on the same one-event-in-flight scheduling as the scenario
+//     timeline. Handover instants jitter deterministically from the
+//     model's own seeded source.
+//   - CoDel + ApplyBloat: a deep drop-tail queue with optional CoDel-style
+//     AQM consulted at dequeue.
+//
+// Every model owns its randomness (a splitmix-mixed seed feeding a private
+// source), so installing one never perturbs the engine's shared stream —
+// experiments that do not use the models stay byte-identical, and the ones
+// that do are deterministic per (model seed, engine seed) at any trial
+// parallelism.
+package netem
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"math/rand"
+
+	"vcalab/internal/sim"
+)
+
+// LossModel is a stateful per-packet loss process installed on a link with
+// SetLossModel. Lose is called once per packet offered to the link, in
+// arrival order; implementations must be deterministic given their
+// construction parameters (own their randomness) so link behaviour is
+// reproducible per seed.
+type LossModel interface {
+	Lose() bool
+}
+
+// mix64 is splitmix64's finalizer: adjacent seeds map to decorrelated
+// source seeds, so seeding models 1,2,3,... is as good as random seeds.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func newModelRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix64(uint64(seed)))))
+}
+
+// GEConfig parameterizes the Gilbert–Elliott two-state loss chain. The
+// chain steps once per offered packet: in the Good state it crosses to Bad
+// with probability P, in Bad it returns to Good with probability R; the
+// packet is then lost with the current state's loss probability. Mean Bad
+// residence is 1/R packets and the stationary Bad share is P/(P+R), which
+// makes regimes easy to dial in (see WiFiBursty).
+type GEConfig struct {
+	P        float64 // per-packet Good→Bad transition probability
+	R        float64 // per-packet Bad→Good transition probability
+	LossGood float64 // loss probability in Good (typically ~0)
+	LossBad  float64 // loss probability in Bad (typically ~1)
+}
+
+// StationaryLoss returns the chain's long-run loss rate — the yardstick
+// the statistical property tests hold empirical drops against.
+func (c GEConfig) StationaryLoss() float64 {
+	if c.P+c.R <= 0 {
+		return c.LossGood
+	}
+	pb := c.P / (c.P + c.R)
+	return (1-pb)*c.LossGood + pb*c.LossBad
+}
+
+// WiFiBursty returns a GE parameterization hitting a target overall loss
+// rate with a target mean burst length (packets), using the classic
+// LossBad=1, LossGood=0 simplification: bursts of meanBurst consecutive
+// losses arriving often enough to average lossRate.
+func WiFiBursty(lossRate, meanBurst float64) GEConfig {
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	if lossRate >= 1 {
+		lossRate = 0.99
+	}
+	r := 1 / meanBurst
+	return GEConfig{P: r * lossRate / (1 - lossRate), R: r, LossBad: 1}
+}
+
+// GilbertElliott is a LossModel running the GE chain. Create with
+// NewGilbertElliott; counters are exported for measurement code.
+type GilbertElliott struct {
+	cfg GEConfig
+	rng *rand.Rand
+	bad bool
+
+	// Offered and Losses count packets seen and packets lost.
+	Offered, Losses uint64
+}
+
+// NewGilbertElliott builds a GE loss model with its own seeded source.
+func NewGilbertElliott(seed int64, cfg GEConfig) *GilbertElliott {
+	return &GilbertElliott{cfg: cfg, rng: newModelRand(seed)}
+}
+
+// Lose implements LossModel: advance the chain one packet, then sample
+// loss in the resulting state. Degenerate loss probabilities (0 or 1)
+// skip the sample draw, so the chain's random stream stays aligned with
+// the state sequence regardless of the loss parameters.
+func (g *GilbertElliott) Lose() bool {
+	if g.bad {
+		if g.rng.Float64() < g.cfg.R {
+			g.bad = false
+		}
+	} else {
+		if g.rng.Float64() < g.cfg.P {
+			g.bad = true
+		}
+	}
+	h := g.cfg.LossGood
+	if g.bad {
+		h = g.cfg.LossBad
+	}
+	var lost bool
+	switch {
+	case h >= 1:
+		lost = true
+	case h <= 0:
+		lost = false
+	default:
+		lost = g.rng.Float64() < h
+	}
+	g.Offered++
+	if lost {
+		g.Losses++
+	}
+	return lost
+}
+
+// Bad reports whether the chain is currently in the Bad (bursty) state.
+func (g *GilbertElliott) Bad() bool { return g.bad }
+
+// CoDelConfig parameterizes the AQM. Zero values select the RFC 8289
+// defaults: 5 ms target sojourn, 100 ms interval.
+type CoDelConfig struct {
+	Target   time.Duration
+	Interval time.Duration
+}
+
+func (c *CoDelConfig) defaults() {
+	if c.Target == 0 {
+		c.Target = 5 * time.Millisecond
+	}
+	if c.Interval == 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+}
+
+// CoDel is a deterministic CoDel-style AQM: when the head packet's queue
+// sojourn has stayed above Target for a full Interval, it enters the
+// dropping state and head-drops at a frequency growing with the square
+// root of the drop count (the RFC 8289 control law), until a sojourn back
+// under Target resets it. No randomness is involved, so AQM behaviour is
+// a pure function of the packet arrival pattern.
+type CoDel struct {
+	cfg        CoDelConfig
+	firstAbove time.Duration // deadline to leave the above-target grace period; 0 = not above
+	dropNext   time.Duration
+	dropping   bool
+	count      int
+
+	// Drops counts head drops decided by the control law.
+	Drops uint64
+}
+
+// NewCoDel builds an AQM instance; install it with Link.SetAQM.
+func NewCoDel(cfg CoDelConfig) *CoDel {
+	cfg.defaults()
+	return &CoDel{cfg: cfg}
+}
+
+// dropOnDequeue is the control law, called by the link for the head packet
+// when it is dequeued for serialization.
+func (c *CoDel) dropOnDequeue(now time.Duration, sojourn time.Duration) bool {
+	if sojourn < c.cfg.Target {
+		c.firstAbove = 0
+		c.dropping = false
+		c.count = 0
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now + c.cfg.Interval
+		return false
+	}
+	if c.dropping {
+		if now >= c.dropNext {
+			c.count++
+			c.Drops++
+			c.dropNext = now + c.controlDelay()
+			return true
+		}
+		return false
+	}
+	if now >= c.firstAbove {
+		c.dropping = true
+		c.count = 1
+		c.Drops++
+		c.dropNext = now + c.controlDelay()
+		return true
+	}
+	return false
+}
+
+func (c *CoDel) controlDelay() time.Duration {
+	return time.Duration(float64(c.cfg.Interval) / math.Sqrt(float64(c.count)))
+}
+
+// BloatConfig describes a bufferbloated access hop: a drop-tail queue
+// Depth deep in time at the link's current rate (far beyond the 200 ms
+// default a token bucket carries), with optional CoDel AQM in front of
+// the serializer.
+type BloatConfig struct {
+	// Depth is the queue depth in time at the link rate; default 2 s —
+	// the DSL/cable modem buffers the bufferbloat literature measured.
+	Depth time.Duration
+	// AQM enables CoDel on the deep queue.
+	AQM   bool
+	CoDel CoDelConfig
+}
+
+// DeepQueueBytes converts a time depth at a rate into a byte bound, with
+// the same 5-MTU floor as DefaultQueueBytes.
+func DeepQueueBytes(rateBps float64, depth time.Duration) int {
+	q := int(rateBps / 8 * depth.Seconds())
+	if min := 5 * 1500; q < min {
+		q = min
+	}
+	return q
+}
+
+// ApplyBloat reconfigures l as a bufferbloated hop: the queue bound grows
+// to cfg.Depth at the link's current rate and CoDel is installed or
+// removed per cfg.AQM. The link must be rate-limited — on an
+// unconstrained link there is no queue to bloat, so the call is a no-op.
+func ApplyBloat(l *Link, cfg BloatConfig) {
+	if l.Rate() <= 0 {
+		return
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 2 * time.Second
+	}
+	l.SetQueueBytes(DeepQueueBytes(l.Rate(), cfg.Depth))
+	if cfg.AQM {
+		l.SetAQM(NewCoDel(cfg.CoDel))
+	} else {
+		l.SetAQM(nil)
+	}
+}
+
+// RateStep is one segment of a cellular capacity trace: at offset At from
+// the model's start, the link rate becomes Bps (0 = unconstrained).
+type RateStep struct {
+	At  time.Duration
+	Bps float64
+}
+
+// CellularConfig drives a Cellular model: a capacity trace stepped against
+// the link, with periodic handover gaps that pause serialization.
+type CellularConfig struct {
+	// Steps is the capacity trace, offsets relative to Start time. Steps
+	// are applied in time order; steps at or past Until never fire.
+	Steps []RateStep
+	// HandoverEvery spaces handovers (0 disables them); each waits an
+	// extra deterministic jitter in [0, HandoverJitter) drawn from the
+	// model's own seeded source, then pauses the link for HandoverGap.
+	HandoverEvery  time.Duration
+	HandoverJitter time.Duration
+	HandoverGap    time.Duration
+	// Until is the absolute sim time the model stops at: no step or
+	// handover fires later, and an in-progress gap un-pauses no later
+	// than Until, so the engine always drains. Required (>0) when
+	// handovers are enabled; 0 otherwise means "run the whole trace".
+	Until time.Duration
+	// ResizeQueue applies DefaultQueueBytes at every rate step (`tc`
+	// re-shape semantics). The default keeps the queue bound fixed — a
+	// device buffer is physical, which is exactly how a deep buffer at a
+	// low trace rate turns into cellular bufferbloat.
+	ResizeQueue bool
+}
+
+// Cellular replays a capacity trace with handover gaps against one link.
+// Create with NewCellular, then Start. Like the scenario timeline it keeps
+// a single pooled engine event in flight, so driving the model allocates
+// nothing per step.
+type Cellular struct {
+	eng  *sim.Engine
+	link *Link
+	cfg  CellularConfig
+	rng  *rand.Rand
+
+	start   time.Duration
+	step    int
+	nextHO  time.Duration // absolute time of the next handover start
+	gapEnd  time.Duration // absolute un-pause time while in a gap
+	inGap   bool
+	started bool
+
+	// Handovers counts gaps begun.
+	Handovers int
+}
+
+const cellularNever = time.Duration(math.MaxInt64)
+
+// NewCellular binds a cellular capacity model to a link. It panics if
+// handovers are enabled without an Until bound — an unbounded pause/resume
+// loop would keep the engine from ever draining, which is always a
+// harness-construction bug.
+func NewCellular(eng *sim.Engine, l *Link, seed int64, cfg CellularConfig) *Cellular {
+	if cfg.HandoverEvery > 0 && cfg.Until <= 0 {
+		panic("netem: cellular handovers require an Until bound")
+	}
+	if cfg.Until <= 0 {
+		cfg.Until = cellularNever
+	}
+	steps := append([]RateStep(nil), cfg.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	cfg.Steps = steps
+	return &Cellular{eng: eng, link: l, cfg: cfg, rng: newModelRand(seed)}
+}
+
+// Start arms the model at the current sim time; steps at offset 0 apply
+// immediately. Start is idempotent.
+func (c *Cellular) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.start = c.eng.Now()
+	c.nextHO = cellularNever
+	if c.cfg.HandoverEvery > 0 {
+		c.nextHO = c.start + c.interval()
+	}
+	c.run(c.eng.Now())
+}
+
+// interval draws the spacing to the next handover.
+func (c *Cellular) interval() time.Duration {
+	d := c.cfg.HandoverEvery
+	if c.cfg.HandoverJitter > 0 {
+		d += time.Duration(c.rng.Float64() * float64(c.cfg.HandoverJitter))
+	}
+	return d
+}
+
+// OnEvent implements sim.Handler; do not call it directly.
+func (c *Cellular) OnEvent(now time.Duration) { c.run(now) }
+
+func (c *Cellular) run(now time.Duration) {
+	// Apply every trace step due by now (and still inside the bound).
+	for c.step < len(c.cfg.Steps) && c.start+c.cfg.Steps[c.step].At <= now {
+		st := c.cfg.Steps[c.step]
+		c.step++
+		if c.start+st.At >= c.cfg.Until {
+			continue
+		}
+		c.link.SetRate(st.Bps)
+		if c.cfg.ResizeQueue && st.Bps > 0 {
+			c.link.SetQueueBytes(DefaultQueueBytes(st.Bps))
+		}
+	}
+	// Close an elapsed gap before possibly opening the next one.
+	if c.inGap && now >= c.gapEnd {
+		c.inGap = false
+		c.link.SetPaused(false)
+	}
+	if !c.inGap && now >= c.nextHO && now < c.cfg.Until {
+		c.inGap = true
+		c.Handovers++
+		c.link.SetPaused(true)
+		c.gapEnd = now + c.cfg.HandoverGap
+		if c.gapEnd > c.cfg.Until {
+			c.gapEnd = c.cfg.Until
+		}
+		c.nextHO = c.gapEnd + c.interval()
+	}
+	// Re-arm for the earliest pending instant, if any remains in bound.
+	next := cellularNever
+	if c.step < len(c.cfg.Steps) {
+		if at := c.start + c.cfg.Steps[c.step].At; at < c.cfg.Until {
+			next = at
+		}
+	}
+	if c.inGap && c.gapEnd < next {
+		next = c.gapEnd
+	}
+	if c.nextHO < c.cfg.Until && c.nextHO < next {
+		next = c.nextHO
+	}
+	if next != cellularNever {
+		c.eng.AtHandler(next, c)
+	}
+}
+
+// Done reports whether the model has nothing left to do (all in-bound
+// steps applied, no gap open, no handover pending).
+func (c *Cellular) Done() bool {
+	stepsLeft := c.step < len(c.cfg.Steps) && c.start+c.cfg.Steps[c.step].At < c.cfg.Until
+	return c.started && !c.inGap && !stepsLeft && c.nextHO >= c.cfg.Until
+}

@@ -40,16 +40,27 @@ type Packet struct {
 	SentAt  time.Duration // stamped by Host.Send
 
 	pool *PacketPool // owning free list, nil for literal packets
+	// queuedAt is stamped when the packet enters a link's drop-tail
+	// queue; the AQM reads it at dequeue to compute the sojourn time.
+	queuedAt time.Duration
 }
 
 // PacketPool is a single-threaded free list of Packet structs, owned by
 // one host within one engine. Pooling keeps the per-packet transit path
 // allocation-free; determinism is unaffected because reuse never changes
 // event ordering.
-type PacketPool struct{ free []*Packet }
+type PacketPool struct {
+	free []*Packet
+	// live counts packets handed out by Get and not yet Released — the
+	// conservation invariant the fuzz harness asserts reaches zero once a
+	// simulation drains. A terminal point that forgets Release shows up
+	// here as a permanent positive residue.
+	live int
+}
 
 // Get returns a zeroed packet owned by the pool.
 func (p *PacketPool) Get() *Packet {
+	p.live++
 	if n := len(p.free) - 1; n >= 0 {
 		pkt := p.free[n]
 		p.free = p.free[:n]
@@ -59,9 +70,16 @@ func (p *PacketPool) Get() *Packet {
 }
 
 func (p *PacketPool) put(pkt *Packet) {
+	p.live--
 	*pkt = Packet{pool: p}
 	p.free = append(p.free, pkt)
 }
+
+// Live reports how many pooled packets are currently out in the emulator
+// (obtained by Get, not yet Released). After a simulation drains it must
+// be zero: every drop path and delivery point owes the pool exactly one
+// Release per packet.
+func (p *PacketPool) Live() int { return p.live }
 
 // Release returns the packet to its owning pool. It is the emulator's
 // explicit recycle point, called once per packet at final delivery or
@@ -149,13 +167,24 @@ type Link struct {
 	queue      []*Packet
 	queuedSize int
 	busy       bool
+	paused     bool    // serialization gate (a cellular handover gap)
 	inService  *Packet // the packet currently being serialized
+
+	// loss, when set, replaces the independent LossProb draw with a
+	// stateful per-packet loss process (Gilbert–Elliott WiFi bursts).
+	loss LossModel
+	// aqm, when set, is consulted at dequeue and may drop the head
+	// packet early (CoDel on a bufferbloated queue).
+	aqm *CoDel
 
 	// Statistics, cumulative since creation.
 	Delivered      uint64
 	DeliveredBytes uint64
 	Drops          uint64
 	DroppedBytes   uint64
+	// AQMDrops counts the subset of Drops decided by the AQM at dequeue
+	// (also included in Drops).
+	AQMDrops uint64
 
 	onDrop func(*Packet)
 	onSend []func(*Packet)
@@ -212,10 +241,46 @@ func (l *Link) SetImpairment(lossProb float64, jitter time.Duration) {
 	l.cfg.Jitter = jitter
 }
 
+// SetLossModel installs (or, with nil, removes) a stateful per-packet loss
+// process consulted at the link ingress in place of the independent
+// LossProb draw. The model owns its randomness, so installing one never
+// perturbs the engine's shared random stream.
+func (l *Link) SetLossModel(m LossModel) { l.loss = m }
+
+// SetAQM installs (or, with nil, removes) a CoDel instance consulted when
+// a queued packet is dequeued for serialization. Pair with a deep queue
+// (ApplyBloat) to model a bufferbloated last-mile hop with and without
+// active queue management.
+func (l *Link) SetAQM(c *CoDel) { l.aqm = c }
+
+// SetPaused gates serialization: while paused, a rate-limited link stops
+// starting new transmissions — arriving packets queue (and overflow the
+// drop-tail bound as usual) until the link resumes. The packet already on
+// the wire finishes normally. This is how a cellular handover gap stalls a
+// last-mile link without losing its queue. Pausing an unconstrained
+// (RateBps <= 0) link has no effect: with no serialization stage there is
+// nothing to gate.
+func (l *Link) SetPaused(p bool) {
+	if l.paused == p {
+		return
+	}
+	l.paused = p
+	if !p && !l.busy {
+		l.startNext()
+	}
+}
+
+// Paused reports whether the serialization gate is closed.
+func (l *Link) Paused() bool { return l.paused }
+
 // Send enqueues pkt for transmission, dropping it if the queue is full.
 func (l *Link) Send(pkt *Packet) {
 	for _, fn := range l.onSend {
 		fn(pkt)
+	}
+	if l.loss != nil && l.loss.Lose() {
+		l.drop(pkt)
+		return
 	}
 	if l.cfg.LossProb > 0 && l.eng.Rand().Float64() < l.cfg.LossProb {
 		l.drop(pkt)
@@ -226,11 +291,12 @@ func (l *Link) Send(pkt *Packet) {
 		l.deliverAfter(pkt, l.cfg.Delay)
 		return
 	}
-	if l.busy {
+	if l.busy || l.paused {
 		if l.queuedSize+pkt.Size > l.cfg.QueueBytes {
 			l.drop(pkt)
 			return
 		}
+		pkt.queuedAt = l.eng.Now()
 		l.queue = append(l.queue, pkt)
 		l.queuedSize += pkt.Size
 		return
@@ -241,7 +307,12 @@ func (l *Link) Send(pkt *Packet) {
 func (l *Link) transmit(pkt *Packet) {
 	l.busy = true
 	l.inService = pkt
-	tx := time.Duration(float64(pkt.Size*8) / l.cfg.RateBps * float64(time.Second))
+	var tx time.Duration
+	if l.cfg.RateBps > 0 {
+		tx = time.Duration(float64(pkt.Size*8) / l.cfg.RateBps * float64(time.Second))
+	}
+	// RateBps <= 0 here means the constraint was removed while packets
+	// were queued: they flush with zero serialization delay.
 	l.eng.ScheduleHandler(tx, l)
 }
 
@@ -252,13 +323,28 @@ func (l *Link) OnEvent(time.Duration) {
 	pkt := l.inService
 	l.inService = nil
 	l.deliverAfter(pkt, l.cfg.Delay)
-	if len(l.queue) > 0 {
+	l.busy = false
+	if !l.paused {
+		l.startNext()
+	}
+}
+
+// startNext dequeues through the AQM until a packet survives, then starts
+// serializing it. Head-drop decisions happen at dequeue time, as in a real
+// CoDel: the dropped packet already paid its queue wait.
+func (l *Link) startNext() {
+	now := l.eng.Now()
+	for len(l.queue) > 0 {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
 		l.queuedSize -= next.Size
+		if l.aqm != nil && l.aqm.dropOnDequeue(now, now-next.queuedAt) {
+			l.AQMDrops++
+			l.drop(next)
+			continue
+		}
 		l.transmit(next)
-	} else {
-		l.busy = false
+		return
 	}
 }
 
@@ -307,6 +393,12 @@ type Host struct {
 // emulator recycles it at its terminal point (final delivery, drop, or
 // unrouteable), so the caller must not retain it after Send.
 func (h *Host) NewPacket() *Packet { return h.pool.Get() }
+
+// PoolLive reports the host pool's outstanding packet count — the
+// packet-pool conservation invariant: once a simulation drains, every
+// packet this host sent has reached a terminal point and been Released,
+// so the count must read zero. A leaky drop path shows up here.
+func (h *Host) PoolLive() int { return h.pool.Live() }
 
 // NewHost creates a host. Attach its uplink with SetUplink once the
 // topology is wired.

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"vcalab/internal/cascade"
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+	"vcalab/internal/vca"
+)
+
+// The invariant harness: replay any scenario — canned, hand-written or
+// generated — against a fresh cascaded call and assert the structural
+// invariants that every vcalab simulation owes, whatever the workload:
+//
+//   - the timeline finished (no event was scheduled past the run);
+//   - the drained engine holds zero live pooled events and zero pending
+//     events (sim.Engine.Live, the PR-3 leak detector);
+//   - the participant-ID space never grew past its build-time density and
+//     no receiver aliases a recycled ID (the PR-4 registry guarantees);
+//   - freeze and recovery accounting stays inside sanity bounds (ratios
+//     in [0,1], freeze time no longer than the call);
+//   - netem packet-pool conservation: once drained, every host pool reads
+//     zero outstanding packets — a drop path that forgets Release is a
+//     violation, not a silent slow leak.
+//
+// The harness is what the fuzz smoke (vcabench -fuzz, CI) and the
+// generator tests replay seeds through.
+
+// HarnessConfig describes the call a scenario replays against. The
+// topology fields must cover the scenario (participants it churns,
+// regions it partitions).
+type HarnessConfig struct {
+	// Profile is the VCA under test (default Meet).
+	Profile *vca.Profile
+	// Participants is the roster size (default 8).
+	Participants int
+	// Regions is the number of SFU sites (default 2).
+	Regions int
+	// InterBps is the inter-region link capacity (default 10e6).
+	InterBps float64
+	// InterDelay is the one-way inter-region delay (default 30 ms).
+	InterDelay time.Duration
+	// Dur is the call duration (default 60s).
+	Dur time.Duration
+	// Seed seeds the engine and call.
+	Seed int64
+}
+
+func (c *HarnessConfig) defaults() {
+	if c.Profile == nil {
+		c.Profile = vca.Meet()
+	}
+	if c.Participants == 0 {
+		c.Participants = 8
+	}
+	if c.Regions == 0 {
+		c.Regions = 2
+	}
+	if c.InterBps == 0 {
+		c.InterBps = 10e6
+	}
+	if c.InterDelay == 0 {
+		c.InterDelay = 30 * time.Millisecond
+	}
+	if c.Dur == 0 {
+		c.Dur = 60 * time.Second
+	}
+}
+
+// Violation is one failed invariant, with enough detail to debug the
+// offending replay.
+type Violation struct {
+	Invariant string // short id: "event-pool", "id-aliasing", ...
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+func violationf(out []Violation, inv, format string, args ...any) []Violation {
+	return append(out, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Replay runs sc against a fresh cascaded call per cfg and returns every
+// invariant violation observed (nil on a clean replay).
+func Replay(sc Scenario, cfg HarnessConfig) []Violation {
+	cfg.defaults()
+	var out []Violation
+	if err := sc.Validate(); err != nil {
+		// An invalid scenario is a generator bug, not a sim bug; report
+		// it as a violation so fuzz runs surface it with the seed.
+		return violationf(out, "validate", "%v", err)
+	}
+
+	eng := sim.New(cfg.Seed)
+	assign := cascade.Assign(cfg.Participants, cfg.Regions)
+	topo := cascade.Topology{
+		Default: netem.LinkConfig{RateBps: cfg.InterBps, Delay: cfg.InterDelay},
+	}
+	for r := 0; r < cfg.Regions; r++ {
+		topo.Regions = append(topo.Regions, cascade.Region{
+			Name: fmt.Sprintf("r%d", r), Clients: assign[r],
+		})
+	}
+	mesh := cascade.Build(eng, topo)
+	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+	tl := New(eng, call, MeshLinks(mesh), sc)
+	tl.Start()
+	call.Start()
+	eng.RunUntil(cfg.Dur)
+	call.Stop()
+
+	if !tl.Done() {
+		out = violationf(out, "timeline",
+			"scenario %s: %d of %d events unapplied at t=%v", sc.Name, len(sc.Events)-tl.Applied(), len(sc.Events), cfg.Dur)
+	}
+
+	// Drain: with the call stopped, every in-flight packet, model event
+	// and cancelled ticker must come home.
+	eng.Run()
+	if n := eng.Live(); n != 0 {
+		out = violationf(out, "event-pool", "%d pooled engine events live after drain", n)
+	}
+	if n := eng.Pending(); n != 0 {
+		out = violationf(out, "event-pool", "%d events still pending after drain", n)
+	}
+
+	// Registry density and recycled-ID aliasing.
+	if got, want := call.IDSpace(), cfg.Participants+cfg.Regions; got != want {
+		out = violationf(out, "id-space",
+			"ID space %d, want %d (%d clients + %d SFUs): churn grew the registry", got, want, cfg.Participants, cfg.Regions)
+	}
+	for i, cl := range call.Clients {
+		seen := map[string]bool{}
+		for _, origin := range cl.Origins() {
+			if origin == "" {
+				out = violationf(out, "id-aliasing", "client %d holds a receiver bound to a freed ID", i)
+				continue
+			}
+			if seen[origin] {
+				out = violationf(out, "id-aliasing", "client %d holds duplicate receivers for %q", i, origin)
+			}
+			seen[origin] = true
+		}
+
+		// Freeze and recovery accounting sanity.
+		for _, origin := range cl.Origins() {
+			r := cl.Receiver(origin)
+			if fr := r.FreezeRatio(); fr < 0 || fr > 1 {
+				out = violationf(out, "freeze-accounting",
+					"client %d receiver %s freeze ratio %v outside [0,1]", i, origin, fr)
+			}
+			if ft := r.FreezeTime(); ft < 0 || ft > cfg.Dur {
+				out = violationf(out, "freeze-accounting",
+					"client %d receiver %s freeze time %v outside [0, %v]", i, origin, ft, cfg.Dur)
+			}
+			if r.FreezeCount() < 0 {
+				out = violationf(out, "freeze-accounting",
+					"client %d receiver %s negative freeze count", i, origin)
+			}
+		}
+	}
+
+	// Packet-pool conservation across every host of the topology.
+	for _, h := range mesh.SFUs {
+		if n := h.PoolLive(); n != 0 {
+			out = violationf(out, "packet-pool", "host %s leaks %d pooled packets", h.Name, n)
+		}
+	}
+	for _, region := range mesh.Clients {
+		for _, h := range region {
+			if n := h.PoolLive(); n != 0 {
+				out = violationf(out, "packet-pool", "host %s leaks %d pooled packets", h.Name, n)
+			}
+		}
+	}
+	return out
+}
+
+// FuzzOne generates seed's scenario for the harness topology and replays
+// it, returning the scenario alongside any violations: the single-seed
+// reproduction path behind `vcabench -fuzz`.
+func FuzzOne(seed int64, cfg HarnessConfig) (Scenario, []Violation) {
+	cfg.defaults()
+	sc := Generate(seed, GenConfig{
+		Participants: cfg.Participants,
+		Regions:      cfg.Regions,
+		InterBps:     cfg.InterBps,
+		Dur:          cfg.Dur,
+	})
+	return sc, Replay(sc, cfg)
+}

@@ -72,6 +72,40 @@ type Shape struct {
 	SetImpair bool
 	LossProb  float64 // 1 severs the link (partition)
 	Jitter    time.Duration
+
+	// SetModel installs (or clears) a heterogeneous last-mile link model.
+	SetModel bool
+	Model    LinkModelSpec
+}
+
+// LinkModelKind selects which last-mile model a LinkModelSpec installs.
+type LinkModelKind int
+
+// Link-model kinds.
+const (
+	// ModelNone clears any installed loss model and AQM (it does not stop
+	// a running cellular driver — bound those with CellularConfig.Until).
+	ModelNone LinkModelKind = iota
+	// ModelGE installs a Gilbert–Elliott bursty-loss chain (WiFi).
+	ModelGE
+	// ModelCellular starts a capacity-trace driver with handover gaps
+	// (LTE/5G) against the link.
+	ModelCellular
+	// ModelBloat deepens the drop-tail queue, optionally with CoDel AQM.
+	ModelBloat
+)
+
+// LinkModelSpec is the declarative form of a link model: pure data, bound
+// to concrete netem machinery only when the timeline applies it. Seed
+// feeds the model's private random source; when one event resolves to
+// several links, each gets Seed offset by its resolution index so parallel
+// last miles decorrelate.
+type LinkModelSpec struct {
+	Kind  LinkModelKind
+	Seed  int64
+	GE    netem.GEConfig
+	Cell  netem.CellularConfig
+	Bloat netem.BloatConfig
 }
 
 // Op is the action an Event performs.
@@ -128,6 +162,12 @@ func ShapeLink(at time.Duration, ref LinkRef, sh Shape) Event {
 	return Event{At: at, Op: OpShape, Ref: ref, Shape: sh}
 }
 
+// ModelLink returns an event installing (or, with ModelNone, clearing) a
+// last-mile link model on the links ref resolves to.
+func ModelLink(at time.Duration, ref LinkRef, spec LinkModelSpec) Event {
+	return Event{At: at, Op: OpShape, Ref: ref, Shape: Shape{SetModel: true, Model: spec}}
+}
+
 // TraceStep is one segment of a per-link capacity trace — the §4
 // two-level disruption and the experiment package's bandwidth traces are
 // special cases, generalized here to any shaped link of the topology.
@@ -165,6 +205,15 @@ func (sc Scenario) Validate() error {
 		}
 		if (ev.Op == OpLeave || ev.Op == OpRejoin) && ev.Who == "" {
 			return fmt.Errorf("scenario %s: event %d churns an unnamed participant", sc.Name, i)
+		}
+		if ev.Op == OpShape && ev.Shape.SetModel {
+			m := ev.Shape.Model
+			if m.Kind < ModelNone || m.Kind > ModelBloat {
+				return fmt.Errorf("scenario %s: event %d has unknown link-model kind %d", sc.Name, i, m.Kind)
+			}
+			if m.Kind == ModelCellular && m.Cell.HandoverEvery > 0 && m.Cell.Until <= 0 {
+				return fmt.Errorf("scenario %s: event %d starts cellular handovers with no Until bound", sc.Name, i)
+			}
 		}
 	}
 	return nil
@@ -267,16 +316,17 @@ func (t *Timeline) apply(ev *Event) {
 		if t.links != nil {
 			t.scratch = append(t.scratch, t.links.ResolveLink(ev.Ref)...)
 		}
-		for _, l := range t.scratch {
-			applyShape(l, ev.Shape)
+		for i, l := range t.scratch {
+			t.applyShape(l, ev.Shape, i)
 		}
 	}
 }
 
 // applyShape reconfigures one link. Rate changes resize the drop-tail
 // queue to the default depth for the new rate, matching Lab.SetUplink's
-// `tc` semantics.
-func applyShape(l *netem.Link, sh Shape) {
+// `tc` semantics. idx is the link's position within the event's
+// resolution, used to decorrelate per-link model seeds.
+func (t *Timeline) applyShape(l *netem.Link, sh Shape, idx int) {
 	if sh.SetRate {
 		l.SetRate(sh.RateBps)
 		if sh.RateBps > 0 {
@@ -288,5 +338,24 @@ func applyShape(l *netem.Link, sh Shape) {
 	}
 	if sh.SetImpair {
 		l.SetImpairment(sh.LossProb, sh.Jitter)
+	}
+	if sh.SetModel {
+		t.applyModel(l, sh.Model, idx)
+	}
+}
+
+// applyModel binds a declarative link-model spec to one concrete link.
+func (t *Timeline) applyModel(l *netem.Link, spec LinkModelSpec, idx int) {
+	seed := spec.Seed + int64(idx)
+	switch spec.Kind {
+	case ModelNone:
+		l.SetLossModel(nil)
+		l.SetAQM(nil)
+	case ModelGE:
+		l.SetLossModel(netem.NewGilbertElliott(seed, spec.GE))
+	case ModelCellular:
+		netem.NewCellular(t.eng, l, seed, spec.Cell).Start()
+	case ModelBloat:
+		netem.ApplyBloat(l, spec.Bloat)
 	}
 }

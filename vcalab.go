@@ -59,6 +59,45 @@ type (
 // NewEngine creates a simulation engine; equal seeds give identical runs.
 func NewEngine(seed int64) *Engine { return sim.New(seed) }
 
+// Heterogeneous last-mile link models (internal/netem): Gilbert–Elliott
+// bursty loss (WiFi), trace/step-driven variable capacity with handover
+// gaps (LTE/5G), and bufferbloat with optional CoDel AQM. Each model owns
+// its seeded randomness, so installing one never perturbs the engine's
+// shared stream.
+type (
+	// LossModel is a stateful per-packet loss process for Link.SetLossModel.
+	LossModel = netem.LossModel
+	// GEConfig parameterizes the Gilbert–Elliott loss chain.
+	GEConfig = netem.GEConfig
+	// GilbertElliott is the GE chain; install with Link.SetLossModel.
+	GilbertElliott = netem.GilbertElliott
+	// CellularConfig drives a capacity trace with handover gaps.
+	CellularConfig = netem.CellularConfig
+	// CellularModel replays a CellularConfig against one link.
+	CellularModel = netem.Cellular
+	// RateStep is one segment of a cellular capacity trace.
+	RateStep = netem.RateStep
+	// CoDelConfig parameterizes the deterministic CoDel AQM.
+	CoDelConfig = netem.CoDelConfig
+	// BloatConfig describes a bufferbloated hop (deep queue, optional AQM).
+	BloatConfig = netem.BloatConfig
+)
+
+var (
+	// NewGilbertElliott builds a seeded GE loss model.
+	NewGilbertElliott = netem.NewGilbertElliott
+	// WiFiBursty parameterizes GE for a target loss rate and burst length.
+	WiFiBursty = netem.WiFiBursty
+	// NewCellular binds a cellular capacity model to a link.
+	NewCellular = netem.NewCellular
+	// NewCoDel builds an AQM instance for Link.SetAQM.
+	NewCoDel = netem.NewCoDel
+	// ApplyBloat reconfigures a rate-limited link as a bufferbloated hop.
+	ApplyBloat = netem.ApplyBloat
+	// DeepQueueBytes converts a time depth at a rate into a queue bound.
+	DeepQueueBytes = netem.DeepQueueBytes
+)
+
 // VCA modelling types.
 type (
 	// Profile is a complete VCA calibration (client + server behaviour).
@@ -139,6 +178,17 @@ type (
 	LinkResolver = scenario.LinkResolver
 	// LinkTraceStep is one segment of a per-link capacity trace.
 	LinkTraceStep = scenario.TraceStep
+	// LinkModelSpec declaratively installs a last-mile link model.
+	LinkModelSpec = scenario.LinkModelSpec
+	// LinkModelKind selects which model a LinkModelSpec installs.
+	LinkModelKind = scenario.LinkModelKind
+	// GenScenarioConfig bounds the seeded scenario generator's space.
+	GenScenarioConfig = scenario.GenConfig
+	// ScenarioHarnessConfig describes the call a scenario replays against
+	// in the invariant harness.
+	ScenarioHarnessConfig = scenario.HarnessConfig
+	// ScenarioViolation is one failed invariant from a harness replay.
+	ScenarioViolation = scenario.Violation
 )
 
 // Scenario link-target kinds (ScenarioLinkRef.Kind).
@@ -148,6 +198,14 @@ const (
 	LinkInter      = scenario.LinkInter
 	LinkInterPair  = scenario.LinkInterPair
 	LinkInterAll   = scenario.LinkInterAll
+)
+
+// Link-model kinds (LinkModelSpec.Kind).
+const (
+	ModelNone     = scenario.ModelNone
+	ModelGE       = scenario.ModelGE
+	ModelCellular = scenario.ModelCellular
+	ModelBloat    = scenario.ModelBloat
 )
 
 var (
@@ -162,10 +220,20 @@ var (
 	ScenarioMode   = scenario.Mode
 	ScenarioShape  = scenario.ShapeLink
 	ScenarioTrace  = scenario.Trace
+	// ScenarioModel returns an event installing a last-mile link model.
+	ScenarioModel = scenario.ModelLink
 	// CannedScenario instantiates a canned scenario by name;
 	// CannedScenarioNames lists them.
 	CannedScenario      = scenario.Canned
 	CannedScenarioNames = scenario.CannedNames
+	// GenerateScenario composes a seed-deterministic random scenario from
+	// churn, reshape, partition and link-model motifs.
+	GenerateScenario = scenario.Generate
+	// ReplayScenario replays any scenario through the invariant harness,
+	// returning every violation; FuzzScenario generates seed's scenario
+	// first (the `-fuzz` reproduction path).
+	ReplayScenario = scenario.Replay
+	FuzzScenario   = scenario.FuzzOne
 )
 
 // Experiment harness.
@@ -201,6 +269,11 @@ type (
 	// freeze ratio, per-event recovery time and latency percentiles.
 	DynamicConfig = experiment.DynamicConfig
 	DynamicResult = experiment.DynamicResult
+	// FuzzConfig/FuzzResult drive the scenario-fuzz smoke: N seeded
+	// generated scenarios replayed through the invariant harness.
+	FuzzConfig  = experiment.FuzzConfig
+	FuzzResult  = experiment.FuzzResult
+	FuzzFailure = experiment.FuzzFailure
 	// BandwidthTrace replays a time-varying access-link profile (the §8
 	// "other network contexts" extension); TraceStep is one segment.
 	BandwidthTrace = experiment.BandwidthTrace
@@ -257,6 +330,7 @@ var (
 	RunImpairment  = experiment.RunImpairment
 	RunScale       = experiment.RunScale
 	RunDynamic     = experiment.RunDynamic
+	RunFuzz        = experiment.RunFuzz
 	RunEngineBench = experiment.RunEngineBench
 	RunTrace       = experiment.RunTrace
 	RunTraces      = experiment.RunTraces
@@ -278,6 +352,7 @@ var (
 	PrintImpairment      = experiment.PrintImpairment
 	PrintScale           = experiment.PrintScale
 	PrintDynamic         = experiment.PrintDynamic
+	PrintFuzz            = experiment.PrintFuzz
 )
 
 // Topology delays (re-exported from the experiment package).
