@@ -2,18 +2,30 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"vcalab"
 )
+
+// obsFlags bundles the observability/profiling flags for validation.
+type obsFlags struct {
+	trace      string // -trace FILE
+	metrics    string // -metrics FILE
+	interval   time.Duration
+	cpuprofile string
+	memprofile string
+}
 
 // validateFlags checks the cross-flag invariants once, right after
 // flag.Parse and before any experiment runs, so every bad invocation
 // fails fast with one clear message and exit code 2. Before this helper a
 // negative -parallel was silently coerced to "all cores" and a bad
-// -scenario surfaced only after other sweeps had already burned minutes.
-func validateFlags(exp, bench, scenarioName string, parallel, reps, fuzz int) error {
+// -scenario surfaced only after other sweeps had already burned minutes;
+// likewise an unwritable -trace path must fail here, not after the sweep.
+func validateFlags(exp, bench, scenarioName string, parallel, reps, fuzz int, obs obsFlags) error {
 	if parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 = all cores, 1 = sequential); got %d", parallel)
 	}
@@ -22,6 +34,37 @@ func validateFlags(exp, bench, scenarioName string, parallel, reps, fuzz int) er
 	}
 	if fuzz < 0 {
 		return fmt.Errorf("-fuzz must be >= 0 (N generated scenarios to replay); got %d", fuzz)
+	}
+	if obs.interval <= 0 {
+		return fmt.Errorf("-obs-interval must be positive; got %v", obs.interval)
+	}
+	for _, p := range []struct{ flag, path string }{
+		{"-trace", obs.trace}, {"-metrics", obs.metrics},
+		{"-cpuprofile", obs.cpuprofile}, {"-memprofile", obs.memprofile},
+	} {
+		if p.path == "" {
+			continue
+		}
+		// Probe writability now; the run opens (and truncates) the file
+		// again later, so leaving the probe file behind is harmless.
+		f, err := os.OpenFile(p.path, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("%s: cannot write %s: %v", p.flag, p.path, err)
+		}
+		f.Close()
+	}
+	if obs.trace != "" || obs.metrics != "" {
+		// Capture is wired through the dynamic experiment only; other
+		// modes silently producing empty files would be worse than a
+		// refusal.
+		switch {
+		case fuzz > 0:
+			return fmt.Errorf("-trace/-metrics do not apply to -fuzz (the harness traces internally)")
+		case bench != "":
+			return fmt.Errorf("-trace/-metrics do not apply to -bench")
+		case exp != "dynamic":
+			return fmt.Errorf("-trace/-metrics require -experiment dynamic; got -experiment %s", exp)
+		}
 	}
 	if fuzz > 0 {
 		return nil // -fuzz ignores -experiment, -bench and -scenario

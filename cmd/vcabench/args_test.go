@@ -1,44 +1,74 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestValidateFlags pins the fail-fast behaviour of the flag validation
 // helper: a negative -parallel and a non-positive -reps used to be
 // silently coerced, and bad -experiment/-bench/-scenario values must exit
 // with a clear message instead of panicking or running the wrong thing.
+// Observability flags follow the same contract: unwritable -trace paths
+// and non-positive -obs-interval fail before any sweep burns time.
 func TestValidateFlags(t *testing.T) {
+	okObs := obsFlags{interval: time.Second}
+	writable := filepath.Join(t.TempDir(), "out.jsonl")
 	cases := []struct {
 		name                 string
 		exp, bench, sc       string
 		parallel, reps, fuzz int
+		obs                  obsFlags
 		wantErrMentions      string // "" = must pass
 	}{
-		{"defaults ok", "table2", "", "all", 0, 3, 0, ""},
-		{"all ok", "all", "", "all", 4, 1, 0, ""},
-		{"dynamic + canned scenario ok", "dynamic", "", "churn-storm", 0, 3, 0, ""},
-		{"dynamic + all scenarios ok", "dynamic", "", "all", 0, 3, 0, ""},
-		{"dynamic + generated scenario ok", "dynamic", "", "gen", 0, 3, 0, ""},
-		{"dynamic + seeded generated scenario ok", "dynamic", "", "gen:42", 0, 3, 0, ""},
-		{"dynamic + negative gen seed ok", "dynamic", "", "gen:-7", 0, 3, 0, ""},
-		{"bench scale ok", "ignored", "scale", "all", 1, 3, 0, ""},
-		{"bench engine ok", "ignored", "engine", "all", 0, 3, 0, ""},
-		{"fuzz ok", "ignored", "", "ignored", 0, 3, 50, ""},
+		{"defaults ok", "table2", "", "all", 0, 3, 0, okObs, ""},
+		{"all ok", "all", "", "all", 4, 1, 0, okObs, ""},
+		{"dynamic + canned scenario ok", "dynamic", "", "churn-storm", 0, 3, 0, okObs, ""},
+		{"dynamic + all scenarios ok", "dynamic", "", "all", 0, 3, 0, okObs, ""},
+		{"dynamic + generated scenario ok", "dynamic", "", "gen", 0, 3, 0, okObs, ""},
+		{"dynamic + seeded generated scenario ok", "dynamic", "", "gen:42", 0, 3, 0, okObs, ""},
+		{"dynamic + negative gen seed ok", "dynamic", "", "gen:-7", 0, 3, 0, okObs, ""},
+		{"bench scale ok", "ignored", "scale", "all", 1, 3, 0, okObs, ""},
+		{"bench engine ok", "ignored", "engine", "all", 0, 3, 0, okObs, ""},
+		{"fuzz ok", "ignored", "", "ignored", 0, 3, 50, okObs, ""},
+		{"dynamic + trace ok", "dynamic", "", "all", 0, 3, 0,
+			obsFlags{trace: writable, interval: time.Second}, ""},
+		{"dynamic + metrics ok", "dynamic", "", "all", 0, 3, 0,
+			obsFlags{metrics: writable, interval: time.Second}, ""},
+		{"cpuprofile anywhere ok", "table2", "", "all", 0, 3, 0,
+			obsFlags{cpuprofile: writable, interval: time.Second}, ""},
 
-		{"negative parallel", "table2", "", "all", -1, 3, 0, "-parallel"},
-		{"zero reps", "table2", "", "all", 0, 0, 0, "-reps"},
-		{"negative reps", "table2", "", "all", 0, -3, 0, "-reps"},
-		{"negative fuzz", "table2", "", "all", 0, 3, -1, "-fuzz"},
-		{"unknown experiment", "fig99", "", "all", 0, 3, 0, "unknown experiment"},
-		{"unknown bench mode", "table2", "bogus", "all", 0, 3, 0, "-bench"},
-		{"unknown scenario", "dynamic", "", "nope", 0, 3, 0, "-scenario"},
-		{"malformed gen seed", "dynamic", "", "gen:xyz", 0, 3, 0, "-scenario"},
-		{"scenario ignored outside dynamic", "table2", "", "nope", 0, 3, 0, ""},
+		{"negative parallel", "table2", "", "all", -1, 3, 0, okObs, "-parallel"},
+		{"zero reps", "table2", "", "all", 0, 0, 0, okObs, "-reps"},
+		{"negative reps", "table2", "", "all", 0, -3, 0, okObs, "-reps"},
+		{"negative fuzz", "table2", "", "all", 0, 3, -1, okObs, "-fuzz"},
+		{"unknown experiment", "fig99", "", "all", 0, 3, 0, okObs, "unknown experiment"},
+		{"unknown bench mode", "table2", "bogus", "all", 0, 3, 0, okObs, "-bench"},
+		{"unknown scenario", "dynamic", "", "nope", 0, 3, 0, okObs, "-scenario"},
+		{"malformed gen seed", "dynamic", "", "gen:xyz", 0, 3, 0, okObs, "-scenario"},
+		{"scenario ignored outside dynamic", "table2", "", "nope", 0, 3, 0, okObs, ""},
+
+		{"zero obs interval", "dynamic", "", "all", 0, 3, 0,
+			obsFlags{trace: writable}, "-obs-interval"},
+		{"negative obs interval", "dynamic", "", "all", 0, 3, 0,
+			obsFlags{metrics: writable, interval: -time.Second}, "-obs-interval"},
+		{"unwritable trace path", "dynamic", "", "all", 0, 3, 0,
+			obsFlags{trace: "/nonexistent-dir/t.jsonl", interval: time.Second}, "-trace"},
+		{"unwritable metrics path", "dynamic", "", "all", 0, 3, 0,
+			obsFlags{metrics: "/nonexistent-dir/m.jsonl", interval: time.Second}, "-metrics"},
+		{"unwritable cpuprofile path", "table2", "", "all", 0, 3, 0,
+			obsFlags{cpuprofile: "/nonexistent-dir/cpu.pprof", interval: time.Second}, "-cpuprofile"},
+		{"trace outside dynamic", "table2", "", "all", 0, 3, 0,
+			obsFlags{trace: writable, interval: time.Second}, "-experiment dynamic"},
+		{"metrics with bench", "ignored", "engine", "all", 0, 3, 0,
+			obsFlags{metrics: writable, interval: time.Second}, "-bench"},
+		{"trace with fuzz", "ignored", "", "ignored", 0, 3, 10,
+			obsFlags{trace: writable, interval: time.Second}, "-fuzz"},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.exp, c.bench, c.sc, c.parallel, c.reps, c.fuzz)
+		err := validateFlags(c.exp, c.bench, c.sc, c.parallel, c.reps, c.fuzz, c.obs)
 		if c.wantErrMentions == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)

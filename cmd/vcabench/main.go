@@ -23,8 +23,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,6 +45,12 @@ var (
 	bench    = flag.String("bench", "", "benchmark mode: `scale` (sweep at 1 and NumCPU workers, BENCH_scale.json) or `engine` (events/sec + allocs/event, BENCH_engine.json)")
 	jsonOut  = flag.Bool("json", false, "with -bench: write machine-readable results to BENCH_<mode>.json")
 	check    = flag.Bool("check", false, "with -bench engine: exit non-zero if allocs/event exceeds 0.1 or events/s regresses >20% vs the recorded baseline (the CI bench-regression gate)")
+
+	traceFile   = flag.String("trace", "", "with -experiment dynamic: write a structured JSONL event trace (packet enqueue/dequeue/drop/deliver, CC decisions, forward switches, scenario and churn events) to `FILE`")
+	metricsFile = flag.String("metrics", "", "with -experiment dynamic: write sampled metrics and per-client getStats snapshots as JSONL to `FILE`")
+	obsInterval = flag.Duration("obs-interval", time.Second, "sampling period for -metrics gauges/histograms and getStats snapshots")
+	cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to `FILE`")
+	memprofile  = flag.String("memprofile", "", "write a pprof heap profile to `FILE` when the run completes")
 )
 
 // experimentDef is one runnable artifact; the registry is the single
@@ -84,9 +92,44 @@ func main() {
 		"experiment id (see -list): table2, fig1a..fig15, impairment, scale, dynamic, all")
 	flag.Parse()
 
-	if err := validateFlags(*exp, *bench, *scen, *parallel, *reps, *fuzzN); err != nil {
+	if err := validateFlags(*exp, *bench, *scen, *parallel, *reps, *fuzzN, obsFlags{
+		trace: *traceFile, metrics: *metricsFile, interval: *obsInterval,
+		cpuprofile: *cpuprofile, memprofile: *memprofile,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Runs after the workload (deferred, so it skips the os.Exit
+		// failure paths, where a profile would mislead anyway).
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -420,18 +463,61 @@ func dynamicConfig(p *vcalab.Profile, scenarioName string) vcalab.DynamicConfig 
 	return cfg
 }
 
+// obsSinks opens the -trace/-metrics files and builds the ObsConfig the
+// dynamic sweeps share; everything is nil when both flags are off. The
+// files hold every (profile, scenario, rep) capture in run order, each
+// introduced by a self-describing trial-header line. validateFlags
+// already probed both paths for writability, so a failure here is an
+// unexpected race and exits 2 like any other bad invocation.
+func obsSinks() (cfg *vcalab.ObsConfig, traceW, metricsW io.Writer, closeAll func()) {
+	if *traceFile == "" && *metricsFile == "" {
+		return nil, nil, nil, func() {}
+	}
+	cfg = &vcalab.ObsConfig{
+		Trace:    *traceFile != "",
+		Metrics:  *metricsFile != "",
+		Interval: *obsInterval,
+	}
+	var files []*os.File
+	open := func(path string) io.Writer {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		files = append(files, f)
+		return f
+	}
+	traceW = open(*traceFile)
+	metricsW = open(*metricsFile)
+	return cfg, traceW, metricsW, func() {
+		for _, f := range files {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "closing observability output: %v\n", err)
+			}
+		}
+	}
+}
+
 // dynamic replays the canned scenarios (or the one chosen with -scenario,
 // including `gen[:seed]` for a generated timeline) against every VCA: the
 // changing-conditions workload axis. `all` stays the five canned
 // scenarios so existing outputs are untouched.
 func dynamic() {
+	obsCfg, traceW, metricsW, closeObs := obsSinks()
+	defer closeObs()
 	names := vcalab.CannedScenarioNames()
 	if *scen != "all" {
 		names = []string{*scen}
 	}
 	for _, p := range threeVCAs() {
 		for _, name := range names {
-			r := vcalab.RunDynamic(dynamicConfig(p, name))
+			cfg := dynamicConfig(p, name)
+			cfg.Obs, cfg.TraceW, cfg.MetricsW = obsCfg, traceW, metricsW
+			r := vcalab.RunDynamic(cfg)
 			vcalab.PrintDynamic(os.Stdout, r)
 		}
 	}

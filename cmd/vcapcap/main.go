@@ -19,12 +19,13 @@ import (
 
 func main() {
 	var (
-		vcaName = flag.String("vca", "zoom", "VCA profile")
-		up      = flag.Float64("up", 0, "uplink shaping in Mbps (0 = unconstrained)")
-		down    = flag.Float64("down", 0, "downlink shaping in Mbps")
-		dur     = flag.Duration("dur", 60*time.Second, "call duration")
-		out     = flag.String("o", "call.pcap", "output pcap path")
-		seed    = flag.Int64("seed", 42, "simulation seed")
+		vcaName   = flag.String("vca", "zoom", "VCA profile")
+		up        = flag.Float64("up", 0, "uplink shaping in Mbps (0 = unconstrained)")
+		down      = flag.Float64("down", 0, "downlink shaping in Mbps")
+		dur       = flag.Duration("dur", 60*time.Second, "call duration")
+		out       = flag.String("o", "call.pcap", "output pcap path")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		traceFile = flag.String("trace", "", "also write C1's structured JSONL event timeline to `FILE`, time-aligned with the pcap (same t=0)")
 	)
 	flag.Parse()
 
@@ -57,10 +58,40 @@ func main() {
 	pcap.TapLink(w, c1.Uplink(), eng.Now)
 
 	call := vcalab.NewCall(eng, prof, sfu, []*vcalab.Host{c1, c2}, vcalab.CallOptions{Seed: *seed})
+
+	// -trace mirrors the pcap vantage point in structured form: the
+	// tracer taps only C1's shaped access links (plus call-level CC and
+	// switch decisions), so every line shares the capture's clock and the
+	// file aligns packet-for-packet with the pcap.
+	var tracer *vcalab.Tracer
+	if *traceFile != "" {
+		tracer = vcalab.NewTracer(0)
+		lab.Uplink().SetTracer(tracer)
+		lab.Downlink().SetTracer(tracer)
+		call.SetTracer(tracer)
+	}
+
 	call.Start()
 	eng.RunUntil(*dur)
 	call.Stop()
 
+	if tracer != nil {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSONL(tf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%d dropped by the ring)\n",
+			tracer.Len(), *traceFile, tracer.Dropped())
+	}
 	fmt.Fprintf(os.Stderr, "wrote %d packets to %s (%s call, %v)\n",
 		w.Packets, *out, prof.Name, *dur)
 }

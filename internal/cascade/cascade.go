@@ -200,6 +200,24 @@ func (m *Mesh) InterLinks() []*netem.Link {
 	return out
 }
 
+// Links returns every link of the built topology in a deterministic
+// order: inter-region links (ascending (from, to)), then per region the
+// SFU's up/down access pair followed by each client's up/down pair in
+// declaration order. Instrumentation that iterates "all links" — tracer
+// attachment, metrics registration — goes through here so its side
+// effects (and therefore any JSONL output) are reproducible.
+func (m *Mesh) Links() []*netem.Link {
+	out := m.InterLinks()
+	for ri, r := range m.topo.Regions {
+		sfu := m.SFUs[ri].Name
+		out = append(out, m.accessUp[sfu], m.accessDown[sfu])
+		for _, name := range r.Clients {
+			out = append(out, m.accessUp[name], m.accessDown[name])
+		}
+	}
+	return out
+}
+
 // SetInterRate re-shapes every inter-region link to bps (0 removes the
 // constraint), resizing queues to the default depth — the `tc` analogue
 // for the WAN mesh.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"time"
 
 	"vcalab/internal/cascade"
@@ -42,6 +43,14 @@ type DynamicConfig struct {
 	// Parallel is the trial parallelism; 0 = package default, 1 =
 	// sequential. Output is identical for every value.
 	Parallel int
+
+	// Obs enables per-trial observability capture (observe.go); nil
+	// leaves the hot path untouched. TraceW/MetricsW receive every
+	// repetition's JSONL stream in rep order after the sweep aggregates,
+	// so these files too are byte-identical at any Parallel.
+	Obs      *ObsConfig
+	TraceW   io.Writer
+	MetricsW io.Writer
 }
 
 func (c *DynamicConfig) defaults() {
@@ -110,6 +119,8 @@ type dynamicTrial struct {
 	// recovered[i]/ttrSec[i] follow the scenario's recovery points.
 	recovered []bool
 	ttrSec    []float64
+	// obs carries the repetition's observability capture (nil when off).
+	obs *trialObs
 }
 
 // scenarioSalt decorrelates trial seeds across scenarios with the same
@@ -140,12 +151,14 @@ func (cfg *DynamicConfig) runTrial(rep int) dynamicTrial {
 	mesh := cascade.Build(eng, topo)
 	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
 	tl := scenario.New(eng, call, scenario.MeshLinks(mesh), cfg.Scenario)
+	to := instrumentTrial(cfg.Obs, eng, mesh, call, tl)
 	tl.Start() // events at t<=0 (a thinned starting roster) apply before the call starts
 	call.Start()
 	eng.RunUntil(cfg.Dur)
 	call.Stop()
 
 	var t dynamicTrial
+	t.obs = to
 	t.down = call.C1().DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur)
 
 	var freezeSum float64
@@ -258,6 +271,12 @@ func RunDynamic(cfg DynamicConfig) DynamicResult {
 		}
 		er.TTRSec = stats.Summarize(times)
 		res.Events = append(res.Events, er)
+	}
+
+	if err := flushObs(&cfg, trials); err != nil {
+		// A failing trace/metrics sink must not corrupt the experiment
+		// result; report and keep the aggregates.
+		fmt.Fprintf(os.Stderr, "vcalab: writing observability output: %v\n", err)
 	}
 	return res
 }

@@ -74,6 +74,15 @@ type EngineBenchResult struct {
 
 	RouteEventsPerSecond float64 `json:"route_events_per_second"`
 	RouteAllocsPerEvent  float64 `json:"route_allocs_per_event"`
+
+	// Previously-buried internals of the macro run, surfaced for the
+	// observability layer: the scheduler's pooled-event high-water mark,
+	// the share of insertions the timer wheel absorbed, and the deepest
+	// queue / total drops across the topology's links.
+	EventHighWater        int     `json:"event_high_water"`
+	WheelInsertRatio      float64 `json:"wheel_insert_ratio"`
+	MaxLinkQueueHighWater int     `json:"max_link_queue_high_water_bytes"`
+	LinkDrops             uint64  `json:"link_drops"`
 }
 
 // RunEngineBench measures the simulation engine on one cascaded call plus
@@ -116,6 +125,16 @@ func RunEngineBench(cfg EngineBenchConfig) EngineBenchResult {
 	if res.Events > 0 {
 		res.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(res.Events)
 		res.BytesPerEvent = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Events)
+	}
+	res.EventHighWater = eng.LiveHighWater()
+	if wheel, heap := eng.SchedulerInserts(); wheel+heap > 0 {
+		res.WheelInsertRatio = float64(wheel) / float64(wheel+heap)
+	}
+	for _, l := range mesh.Links() {
+		if hw := l.QueueHighWater(); hw > res.MaxLinkQueueHighWater {
+			res.MaxLinkQueueHighWater = hw
+		}
+		res.LinkDrops += l.Drops
 	}
 
 	// --- micro: bare scheduler, no protocol machinery ---

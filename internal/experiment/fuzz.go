@@ -118,7 +118,7 @@ func RunFuzz(cfg FuzzConfig) FuzzResult {
 func PrintFuzz(w io.Writer, r FuzzResult) {
 	fmt.Fprintf(w, "# scenario fuzz: %d generated scenarios, %d events replayed\n", r.N, r.Events)
 	if len(r.Failures) == 0 {
-		fmt.Fprintf(w, "all invariants held (event pool, ID aliasing, freeze accounting, packet pool)\n")
+		fmt.Fprintf(w, "all invariants held (event pool, ID aliasing, freeze accounting, packet pool, drop conservation)\n")
 		return
 	}
 	for _, f := range r.Failures {

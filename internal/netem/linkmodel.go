@@ -107,6 +107,10 @@ type GilbertElliott struct {
 
 	// Offered and Losses count packets seen and packets lost.
 	Offered, Losses uint64
+	// BadOffered counts the packets offered while the chain sat in the
+	// Bad state — BadOffered/Offered is the burst-state occupancy that
+	// the metrics sampler reports.
+	BadOffered uint64
 }
 
 // NewGilbertElliott builds a GE loss model with its own seeded source.
@@ -142,6 +146,9 @@ func (g *GilbertElliott) Lose() bool {
 		lost = g.rng.Float64() < h
 	}
 	g.Offered++
+	if g.bad {
+		g.BadOffered++
+	}
 	if lost {
 		g.Losses++
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"vcalab/internal/obs"
 	"vcalab/internal/sim"
 )
 
@@ -185,10 +186,43 @@ type Link struct {
 	// AQMDrops counts the subset of Drops decided by the AQM at dequeue
 	// (also included in Drops).
 	AQMDrops uint64
+	// queueHW is the deepest the drop-tail queue has been, in bytes.
+	queueHW int
+	// pausedAt/pausedTotal track serialization-gate closures (cellular
+	// handover gaps) for the pause-time metric.
+	pausedAt    time.Duration
+	pausedTotal time.Duration
 
 	onDrop func(*Packet)
 	onSend []func(*Packet)
+	// tracer, when set, records packet lifecycle events. Hot-path call
+	// sites guard with `if l.tracer != nil` so a disabled run never even
+	// evaluates the arguments; recording is read-only for the link.
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches (or, with nil, detaches) an event tracer recording
+// this link's enqueue/dequeue/drop/deliver lifecycle.
+func (l *Link) SetTracer(t *obs.Tracer) { l.tracer = t }
+
+// QueueHighWater reports the deepest the drop-tail queue has been, in
+// bytes — the buried counter behind every "why did latency spike" hunt.
+func (l *Link) QueueHighWater() int { return l.queueHW }
+
+// PausedTotal reports the cumulative time the serialization gate has
+// been closed, including the currently open closure if any.
+func (l *Link) PausedTotal() time.Duration {
+	total := l.pausedTotal
+	if l.paused {
+		total += l.eng.Now() - l.pausedAt
+	}
+	return total
+}
+
+// LossModel returns the installed stateful loss process, or nil. Models
+// install mid-run via scenario timelines, so metrics samplers re-check
+// on every tick rather than capturing at setup.
+func (l *Link) LossModel() LossModel { return l.loss }
 
 // OnSend registers fn to observe every packet offered to the link, before
 // any queueing or drop decision — the equivalent of a capture tap at the
@@ -265,6 +299,11 @@ func (l *Link) SetPaused(p bool) {
 		return
 	}
 	l.paused = p
+	if p {
+		l.pausedAt = l.eng.Now()
+	} else {
+		l.pausedTotal += l.eng.Now() - l.pausedAt
+	}
 	if !p && !l.busy {
 		l.startNext()
 	}
@@ -279,11 +318,11 @@ func (l *Link) Send(pkt *Packet) {
 		fn(pkt)
 	}
 	if l.loss != nil && l.loss.Lose() {
-		l.drop(pkt)
+		l.drop(pkt, false)
 		return
 	}
 	if l.cfg.LossProb > 0 && l.eng.Rand().Float64() < l.cfg.LossProb {
-		l.drop(pkt)
+		l.drop(pkt, false)
 		return
 	}
 	if l.cfg.RateBps <= 0 {
@@ -293,12 +332,18 @@ func (l *Link) Send(pkt *Packet) {
 	}
 	if l.busy || l.paused {
 		if l.queuedSize+pkt.Size > l.cfg.QueueBytes {
-			l.drop(pkt)
+			l.drop(pkt, false)
 			return
 		}
 		pkt.queuedAt = l.eng.Now()
 		l.queue = append(l.queue, pkt)
 		l.queuedSize += pkt.Size
+		if l.queuedSize > l.queueHW {
+			l.queueHW = l.queuedSize
+		}
+		if l.tracer != nil {
+			l.tracer.Packet(obs.EvEnqueue, l.eng.Now(), l.name, pkt.Flow, pkt.To.Host, pkt.Size, l.queuedSize, false)
+		}
 		return
 	}
 	l.transmit(pkt)
@@ -340,8 +385,11 @@ func (l *Link) startNext() {
 		l.queuedSize -= next.Size
 		if l.aqm != nil && l.aqm.dropOnDequeue(now, now-next.queuedAt) {
 			l.AQMDrops++
-			l.drop(next)
+			l.drop(next, true)
 			continue
+		}
+		if l.tracer != nil {
+			l.tracer.Packet(obs.EvDequeue, now, l.name, next.Flow, next.To.Host, next.Size, l.queuedSize, false)
 		}
 		l.transmit(next)
 		return
@@ -358,16 +406,22 @@ func (l *Link) deliverAfter(pkt *Packet, d time.Duration) {
 // OnArgEvent implements sim.ArgHandler: one packet finished propagating.
 // Many such events are in flight per link; each carries its packet in the
 // pooled event's arg slot, so the transit path allocates nothing.
-func (l *Link) OnArgEvent(_ time.Duration, arg any) {
+func (l *Link) OnArgEvent(now time.Duration, arg any) {
 	pkt := arg.(*Packet)
 	l.Delivered++
 	l.DeliveredBytes += uint64(pkt.Size)
+	if l.tracer != nil {
+		l.tracer.Packet(obs.EvDeliver, now, l.name, pkt.Flow, pkt.To.Host, pkt.Size, l.queuedSize, false)
+	}
 	l.dst.Deliver(pkt)
 }
 
-func (l *Link) drop(pkt *Packet) {
+func (l *Link) drop(pkt *Packet, aqm bool) {
 	l.Drops++
 	l.DroppedBytes += uint64(pkt.Size)
+	if l.tracer != nil {
+		l.tracer.Packet(obs.EvDrop, l.eng.Now(), l.name, pkt.Flow, pkt.To.Host, pkt.Size, l.queuedSize, aqm)
+	}
 	if l.onDrop != nil {
 		l.onDrop(pkt)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"vcalab/internal/cascade"
 	"vcalab/internal/netem"
+	"vcalab/internal/obs"
 	"vcalab/internal/sim"
 	"vcalab/internal/vca"
 )
@@ -23,7 +24,10 @@ import (
 //     in [0,1], freeze time no longer than the call);
 //   - netem packet-pool conservation: once drained, every host pool reads
 //     zero outstanding packets — a drop path that forgets Release is a
-//     violation, not a silent slow leak.
+//     violation, not a silent slow leak;
+//   - drop conservation: replay runs with tracing enabled, and the
+//     tracer's cumulative drop-event count must equal the sum of every
+//     link's drop counter.
 //
 // The harness is what the fuzz smoke (vcabench -fuzz, CI) and the
 // generator tests replay seeds through.
@@ -106,6 +110,16 @@ func Replay(sc Scenario, cfg HarnessConfig) []Violation {
 	mesh := cascade.Build(eng, topo)
 	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
 	tl := New(eng, call, MeshLinks(mesh), sc)
+	// Replay always runs traced: it both exercises the instrumented paths
+	// under fuzz and feeds the drop-conservation cross-check below. The
+	// ring may wrap on a loss-heavy scenario — that is fine, because the
+	// per-kind counts are cumulative.
+	tr := obs.NewTracer(1 << 12)
+	for _, l := range mesh.Links() {
+		l.SetTracer(tr)
+	}
+	call.SetTracer(tr)
+	tl.SetTracer(tr)
 	tl.Start()
 	call.Start()
 	eng.RunUntil(cfg.Dur)
@@ -160,6 +174,19 @@ func Replay(sc Scenario, cfg HarnessConfig) []Violation {
 					"client %d receiver %s negative freeze count", i, origin)
 			}
 		}
+	}
+
+	// Drop conservation: every packet the links counted as dropped must
+	// have produced exactly one traced drop event, and vice versa. A
+	// drop path that bypasses the instrumented Link.drop (or a tracer
+	// hook that double-fires) shows up here.
+	var linkDrops uint64
+	for _, l := range mesh.Links() {
+		linkDrops += l.Drops
+	}
+	if got := tr.Count(obs.EvDrop); got != linkDrops {
+		out = violationf(out, "drop-conservation",
+			"tracer recorded %d drop events, link counters total %d", got, linkDrops)
 	}
 
 	// Packet-pool conservation across every host of the topology.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"vcalab/internal/netem"
+	"vcalab/internal/obs"
 	"vcalab/internal/sim"
 	"vcalab/internal/vca"
 )
@@ -253,6 +254,26 @@ type Timeline struct {
 	applied int
 	started bool
 	scratch []*netem.Link // reused per shape event; no per-event allocs
+	tracer  *obs.Tracer   // applied-op events; set via SetTracer
+}
+
+// SetTracer attaches (or, with nil, detaches) an event tracer recording
+// every applied timeline op.
+func (t *Timeline) SetTracer(tr *obs.Tracer) { t.tracer = tr }
+
+// opName returns the JSONL spelling of a timeline op.
+func opName(op Op) string {
+	switch op {
+	case OpLeave:
+		return "leave"
+	case OpRejoin:
+		return "rejoin"
+	case OpMode:
+		return "mode"
+	case OpShape:
+		return "shape"
+	}
+	return "unknown"
 }
 
 // New binds a scenario to an engine, call and link resolver. The event
@@ -304,6 +325,9 @@ func (t *Timeline) Applied() int { return t.applied }
 func (t *Timeline) Done() bool { return t.next >= len(t.events) }
 
 func (t *Timeline) apply(ev *Event) {
+	if t.tracer != nil {
+		t.tracer.Scenario(t.eng.Now(), ev.Label, opName(ev.Op), ev.Who)
+	}
 	switch ev.Op {
 	case OpLeave:
 		t.call.Leave(ev.Who)

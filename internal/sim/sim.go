@@ -165,6 +165,13 @@ type Engine struct {
 	// live counts events handed out of the free list and not yet
 	// recycled — the pooled-event leak detector used by tests.
 	live int
+	// liveHW is the high-water mark of live: the scheduler's peak
+	// working set over the engine's lifetime.
+	liveHW int
+	// wheelIns/heapIns count insertions filed through the timer wheel
+	// vs pushed straight onto the heap — the wheel hit ratio is the
+	// scheduler's cheapest health signal.
+	wheelIns, heapIns uint64
 }
 
 // eventBlock is how many pooled events are allocated at once when the
@@ -193,6 +200,19 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // be zero; tests use it as the pooled-event leak detector.
 func (e *Engine) Live() int { return e.live }
 
+// LiveHighWater reports the peak number of pooled events concurrently
+// outstanding over the engine's lifetime — the scheduler's working-set
+// high-water mark.
+func (e *Engine) LiveHighWater() int { return e.liveHW }
+
+// SchedulerInserts reports how many event insertions went through the
+// timer wheel vs straight onto the fallback heap. A low wheel share
+// means events are being scheduled beyond the wheel horizon and the
+// O(log n) path dominates.
+func (e *Engine) SchedulerInserts() (wheel, heap uint64) {
+	return e.wheelIns, e.heapIns
+}
+
 // alloc hands out a pooled event, growing the pool by a block when empty.
 func (e *Engine) alloc() *event {
 	if e.free == nil {
@@ -206,6 +226,9 @@ func (e *Engine) alloc() *event {
 	e.free = ev.next
 	ev.next = nil
 	e.live++
+	if e.live > e.liveHW {
+		e.liveHW = e.live
+	}
 	return ev
 }
 
@@ -228,7 +251,10 @@ func (e *Engine) add(at time.Duration, ev *event) Timer {
 	ev.at = at
 	ev.seq = e.seq
 	e.seq++
-	if !e.wheel.insert(e.now, ev) {
+	if e.wheel.insert(e.now, ev) {
+		e.wheelIns++
+	} else {
+		e.heapIns++
 		e.heapPush(ev)
 	}
 	return Timer{ev: ev, gen: ev.gen}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vcalab/internal/netem"
+	"vcalab/internal/obs"
 	"vcalab/internal/sim"
 )
 
@@ -50,6 +51,7 @@ type Call struct {
 
 	eng     *sim.Engine
 	reg     *registry
+	tracer  *obs.Tracer // churn events; set via SetTracer
 	mode    ViewMode
 	home    []int32         // participant ID -> region index
 	left    map[string]bool // by name: a left participant's ID is recycled
@@ -301,6 +303,9 @@ func (c *Call) Leave(name string) {
 	if cl == nil || c.left[name] {
 		return
 	}
+	if c.tracer != nil {
+		c.tracer.Churn(c.eng.Now(), name, "leave", "")
+	}
 	c.left[name] = true
 	if c.started {
 		cl.stop()
@@ -337,6 +342,9 @@ func (c *Call) Rejoin(name string) {
 	if cl == nil || !c.left[name] {
 		return
 	}
+	if c.tracer != nil {
+		c.tracer.Churn(c.eng.Now(), name, "rejoin", "")
+	}
 	delete(c.left, name)
 	id := c.reg.intern(name, false)
 	c.resetSlot(id)
@@ -369,6 +377,13 @@ func (c *Call) Rejoin(name string) {
 func (c *Call) SetMode(mode ViewMode) {
 	if c.mode == mode {
 		return
+	}
+	if c.tracer != nil {
+		detail := "gallery"
+		if mode == Speaker {
+			detail = "speaker"
+		}
+		c.tracer.Churn(c.eng.Now(), "", "mode", detail)
 	}
 	c.mode = mode
 	c.applyLayout(mode)

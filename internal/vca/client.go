@@ -9,6 +9,7 @@ import (
 	"vcalab/internal/codec"
 	"vcalab/internal/media"
 	"vcalab/internal/netem"
+	"vcalab/internal/obs"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/webrtcstats"
@@ -74,6 +75,11 @@ type Client struct {
 	// FIRsForMyVideo counts FIR messages received for this client's
 	// outbound video (the paper's Fig 3b metric).
 	FIRsForMyVideo int
+	// tracer, when set (Call.SetTracer), records uplink CC decisions.
+	tracer *obs.Tracer
+	// lastRTT retains the RTT the uplink controller last saw, for the
+	// metrics sampler and candidate-pair snapshots.
+	lastRTT time.Duration
 	// latT/latV sample end-to-end frame latency: for every video
 	// frame-end packet, the virtual arrival time and the delay since the
 	// origin client stamped it. OriginSentAt survives SFU forwarding (and
@@ -432,14 +438,26 @@ func (c *Client) onFeedback(pkt *netem.Packet) {
 		return
 	}
 	st := fb.Stats
+	rtt := 2*st.QueueDelay + 40*time.Millisecond
+	c.lastRTT = rtt
+	var oldBps float64
+	if c.tracer != nil {
+		oldBps = c.ccUp.TargetBps()
+	}
 	c.ccUp.OnFeedback(cc.Feedback{
 		Now:            c.eng.Now(),
 		Interval:       st.Interval,
-		RTT:            2*st.QueueDelay + 40*time.Millisecond,
+		RTT:            rtt,
 		LossFraction:   st.LossFraction,
 		ReceiveRateBps: st.RateBps,
 		QueueDelay:     st.QueueDelay,
 	})
+	if c.tracer != nil {
+		if newBps := c.ccUp.TargetBps(); newBps != oldBps {
+			c.tracer.CC(c.eng.Now(), c.Name, "",
+				ccReason(st.LossFraction, st.QueueDelay, oldBps, newBps), oldBps, newBps)
+		}
+	}
 }
 
 // onSignal handles FIR and allocation messages arriving from the server.

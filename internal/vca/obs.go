@@ -1,0 +1,145 @@
+package vca
+
+// Observability surface for the VCA layer: tracer plumbing, the reason
+// codes attached to CC trace events, and the read-only accessors and
+// getStats snapshots the metrics sampler polls. Everything here is
+// passive — nothing mutates client, server, or call state, and nothing
+// draws from a sim RNG — so attaching a tracer or sampling stats cannot
+// change experiment output.
+
+import (
+	"time"
+
+	"vcalab/internal/codec"
+	"vcalab/internal/obs"
+	"vcalab/internal/webrtcstats"
+)
+
+// SetTracer attaches (or, with nil, detaches) an event tracer to every
+// client and server in the call. CC decisions, forwarding switches, and
+// churn are recorded; packet-level events come from the links
+// themselves (netem.Link.SetTracer).
+func (c *Call) SetTracer(t *obs.Tracer) {
+	c.tracer = t
+	for _, cl := range c.Clients {
+		cl.tracer = t
+	}
+	for _, s := range c.Servers {
+		s.tracer = t
+	}
+}
+
+// ccReason derives the reason code recorded with a CC trace event from
+// the feedback that triggered the change. The thresholds match the
+// loss/delay sensitivities of the paper's VCAs closely enough to label
+// why a controller moved; they are descriptive, not part of control.
+func ccReason(lossFraction float64, queueDelay time.Duration, oldBps, newBps float64) string {
+	switch {
+	case newBps < oldBps && lossFraction > 0.02:
+		return "backoff-loss"
+	case newBps < oldBps && queueDelay > 10*time.Millisecond:
+		return "backoff-delay"
+	case newBps < oldBps:
+		return "backoff"
+	case newBps > oldBps:
+		return "increase"
+	default:
+		return "hold"
+	}
+}
+
+// LastRTT returns the round-trip estimate the uplink controller last
+// saw (zero before any feedback arrives).
+func (c *Client) LastRTT() time.Duration { return c.lastRTT }
+
+// StatsReport builds a getStats-style snapshot of this client at now.
+// Strictly read-only: unlike the 1 Hz Recorder path it never calls
+// Receiver.Take, so sampling at any cadence leaves interval state — and
+// therefore experiment output — untouched.
+func (c *Client) StatsReport(now time.Duration) webrtcstats.Report {
+	tus := now.Microseconds()
+	var r webrtcstats.Report
+
+	var out = webrtcstats.OutboundRTP{
+		TUs: tus, Type: "outbound-rtp", Client: c.Name,
+		TargetBitrate: c.videoTarget(),
+		FIRCount:      c.FIRsForMyVideo,
+		BytesSent:     uint64(c.UpMeter.TotalBytes()),
+	}
+	p := c.currentEncodeParams()
+	out.FPS, out.FrameWidth, out.FrameHeight, out.QP = p.FPS, p.Width, p.Height, p.QP
+	r.Outbound = out
+
+	for _, id := range c.recvOrder {
+		recv := c.recv[id]
+		lp := recv.LastParams
+		r.Inbound = append(r.Inbound, webrtcstats.InboundRTP{
+			TUs: tus, Type: "inbound-rtp", Client: c.Name,
+			Origin:         c.reg.name(id),
+			FramesDecoded:  recv.DisplayedFrames(),
+			FPS:            lp.FPS,
+			FrameWidth:     lp.Width,
+			FrameHeight:    lp.Height,
+			FreezeCount:    recv.FreezeCount(),
+			TotalFreezesMs: float64(recv.FreezeTime()) / float64(time.Millisecond),
+			BytesReceived:  uint64(recv.TotalBytes),
+		})
+	}
+
+	var target float64
+	if c.ccUp != nil {
+		target = c.ccUp.TargetBps()
+	}
+	r.Pair = webrtcstats.CandidatePair{
+		TUs: tus, Type: "candidate-pair", Client: c.Name,
+		RTTSeconds:   c.lastRTT.Seconds(),
+		AvailableOut: target,
+		BytesSent:    uint64(c.UpMeter.TotalBytes()),
+		BytesRecv:    uint64(c.DownMeter.TotalBytes()),
+	}
+	return r
+}
+
+// currentEncodeParams returns the active outbound encoder's parameters,
+// picking the live simulcast copy the same way statsTick does.
+func (c *Client) currentEncodeParams() codec.EncodeParams {
+	switch c.prof.MediaMode {
+	case ModeSimulcast:
+		if c.simul.High.Target() > 0 {
+			return c.simul.High.Params()
+		}
+		return c.simul.Low.Params()
+	case ModeSVC:
+		return c.svc.Params()
+	default:
+		return c.single.Params()
+	}
+}
+
+// LegNames returns the names of the server's current forwarding legs
+// (local receivers, then relay peers) in deterministic leg order.
+func (s *Server) LegNames() []string {
+	out := make([]string, 0, len(s.legOrder))
+	for _, id := range s.legOrder {
+		if l := s.legs[id]; l != nil {
+			out = append(out, l.recvName)
+		}
+	}
+	return out
+}
+
+// LegFwdBytes returns the cumulative media bytes the server has sent
+// toward the named receiver's leg (0 for an unknown leg). The counter
+// lives on the leg, so it resets if churn tears the leg down and a
+// Rejoin recreates it.
+func (s *Server) LegFwdBytes(receiver string) uint64 {
+	id := s.reg.id(receiver)
+	if id == noID || int(id) >= len(s.legs) || s.legs[id] == nil {
+		return 0
+	}
+	return s.legs[id].fwdBytes
+}
+
+// FwdSwitches reports how many forwarding-selection changes (simulcast
+// copy flips, SVC layer moves) this server has made since creation.
+func (s *Server) FwdSwitches() uint64 { return s.fwdSwitches }

@@ -6,6 +6,7 @@ import (
 	"vcalab/internal/cc"
 	"vcalab/internal/media"
 	"vcalab/internal/netem"
+	"vcalab/internal/obs"
 	"vcalab/internal/sim"
 )
 
@@ -92,6 +93,12 @@ type Server struct {
 
 	tickers []*sim.Ticker
 	running bool
+
+	// tracer, when set (Call.SetTracer), records per-leg CC decisions
+	// and forwarding switches; fwdSwitches counts the latter
+	// unconditionally (cheap, allocation-free).
+	tracer      *obs.Tracer
+	fwdSwitches uint64
 }
 
 // leg is the server's state toward one receiver — a local client, or a peer
@@ -103,6 +110,7 @@ type leg struct {
 	ctrl     cc.Controller // nil for Teams (pure relay)
 	seq      uint16        // relay legs: one sequence space across origins
 	fwd      []*fwdState   // origin ID -> forwarding state
+	fwdBytes uint64        // cumulative media bytes sent down this leg
 	padOwed  float64
 	lastPad  time.Duration
 	// flows caches accounting labels per (origin ID, rate key): building
@@ -687,6 +695,7 @@ func (s *Server) flowFor(l *leg, mp *MediaPacket) string {
 }
 
 func (s *Server) send(l *leg, mp *MediaPacket, size int) {
+	l.fwdBytes += uint64(size)
 	pkt := s.host.NewPacket()
 	pkt.Size = size
 	pkt.From = netem.Addr{Host: s.Name, Port: PortMedia}
@@ -715,6 +724,10 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 	}
 	if l.ctrl != nil {
 		st := fb.Stats
+		var oldBps float64
+		if s.tracer != nil {
+			oldBps = l.ctrl.TargetBps()
+		}
 		l.ctrl.OnFeedback(cc.Feedback{
 			Now:            s.eng.Now(),
 			Interval:       st.Interval,
@@ -723,6 +736,12 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 			ReceiveRateBps: st.RateBps,
 			QueueDelay:     st.QueueDelay,
 		})
+		if s.tracer != nil {
+			if newBps := l.ctrl.TargetBps(); newBps != oldBps {
+				s.tracer.CC(s.eng.Now(), l.recvName, s.Name,
+					ccReason(st.LossFraction, st.QueueDelay, oldBps, newBps), oldBps, newBps)
+			}
+		}
 		return
 	}
 	// Teams: relay the report end-to-end to every origin the receiver
@@ -897,6 +916,11 @@ func (s *Server) updateSelection(l *leg) {
 			}
 			if fs.selRK != prev {
 				fs.needKey = true
+				s.fwdSwitches++
+				if s.tracer != nil {
+					s.tracer.Switch(s.eng.Now(), l.recvName, s.reg.name(origin),
+						"sim-copy", int(prev), int(fs.selRK))
+				}
 			}
 		case KindZoom:
 			base := s.rate(origin, int(rkSVC))
@@ -926,6 +950,13 @@ func (s *Server) updateSelection(l *leg) {
 				cum += s.rate(origin, int(rkSVC)+layer) * (1 + s.prof.ServerFECOverhead)
 				if layer > 0 && cum <= share {
 					sel = layer
+				}
+			}
+			if prev := fs.maxLayer; sel != prev {
+				s.fwdSwitches++
+				if s.tracer != nil {
+					s.tracer.Switch(s.eng.Now(), l.recvName, s.reg.name(origin),
+						"svc-layer", prev, sel)
 				}
 			}
 			fs.maxLayer = sel

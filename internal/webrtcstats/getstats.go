@@ -1,0 +1,70 @@
+package webrtcstats
+
+// getStats-style periodic snapshots. The paper's ground truth for VCA
+// behaviour is the browser's RTCPeerConnection.getStats() dump; these
+// structs mirror the spec dictionaries (outbound-rtp, inbound-rtp,
+// candidate-pair) closely enough that tooling written against real
+// getStats JSONL works on the simulator's metrics stream unchanged.
+// Field names follow https://www.w3.org/TR/webrtc-stats/ camelCase.
+
+// OutboundRTP is one outbound-rtp video snapshot: what the client's
+// encoder is currently producing and aiming for.
+type OutboundRTP struct {
+	TUs           int64   `json:"t_us"`
+	Type          string  `json:"type"` // "outbound-rtp"
+	Client        string  `json:"client"`
+	TargetBitrate float64 `json:"targetBitrate"` // encoder budget, bps
+	FPS           float64 `json:"framesPerSecond"`
+	FrameWidth    int     `json:"frameWidth"`
+	FrameHeight   int     `json:"frameHeight"`
+	QP            float64 `json:"qpSum,omitempty"` // current QP, not a sum; kept under the spec name
+	FIRCount      int     `json:"firCount"`
+	BytesSent     uint64  `json:"bytesSent"`
+}
+
+// InboundRTP is one inbound-rtp video snapshot for a single remote
+// origin rendered at this client.
+type InboundRTP struct {
+	TUs            int64   `json:"t_us"`
+	Type           string  `json:"type"` // "inbound-rtp"
+	Client         string  `json:"client"`
+	Origin         string  `json:"origin"` // remote participant this stream came from
+	FramesDecoded  int     `json:"framesDecoded"`
+	FPS            float64 `json:"framesPerSecond"`
+	FrameWidth     int     `json:"frameWidth"`
+	FrameHeight    int     `json:"frameHeight"`
+	FreezeCount    int     `json:"freezeCount"`
+	TotalFreezesMs float64 `json:"totalFreezesDuration"` // spec reports seconds; we keep ms and say so in the name
+	BytesReceived  uint64  `json:"bytesReceived"`
+}
+
+// CandidatePair is one candidate-pair snapshot: the client's view of
+// its path to the SFU.
+type CandidatePair struct {
+	TUs          int64   `json:"t_us"`
+	Type         string  `json:"type"` // "candidate-pair"
+	Client       string  `json:"client"`
+	RTTSeconds   float64 `json:"currentRoundTripTime"`
+	AvailableOut float64 `json:"availableOutgoingBitrate"` // CC target, bps
+	BytesSent    uint64  `json:"bytesSent"`
+	BytesRecv    uint64  `json:"bytesReceived"`
+}
+
+// Report is one client's full getStats snapshot at one instant.
+type Report struct {
+	Outbound OutboundRTP
+	Inbound  []InboundRTP
+	Pair     CandidatePair
+}
+
+// Entries flattens the report into the individually-marshallable stats
+// lines, in spec-dump order: outbound, inbounds, candidate pair.
+func (r *Report) Entries() []any {
+	out := make([]any, 0, len(r.Inbound)+2)
+	out = append(out, r.Outbound)
+	for i := range r.Inbound {
+		out = append(out, r.Inbound[i])
+	}
+	out = append(out, r.Pair)
+	return out
+}

@@ -1,0 +1,78 @@
+package webrtcstats
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportGoldenJSONL pins the getStats wire schema against a golden
+// file: tools written against real browser getStats dumps parse these
+// lines by field name, so a renamed or retyped field is a breaking
+// change that must show up in review as a golden diff. Regenerate with
+// `UPDATE_GOLDEN=1 go test ./internal/webrtcstats -run Golden`.
+func TestReportGoldenJSONL(t *testing.T) {
+	r := Report{
+		Outbound: OutboundRTP{
+			TUs: 15_000_000, Type: "outbound-rtp", Client: "c1",
+			TargetBitrate: 1_700_000, FPS: 24, FrameWidth: 1280, FrameHeight: 720,
+			QP: 31.5, FIRCount: 2, BytesSent: 3_187_200,
+		},
+		Inbound: []InboundRTP{
+			{
+				TUs: 15_000_000, Type: "inbound-rtp", Client: "c1", Origin: "c2",
+				FramesDecoded: 358, FPS: 24, FrameWidth: 640, FrameHeight: 360,
+				FreezeCount: 1, TotalFreezesMs: 533.3, BytesReceived: 1_912_300,
+			},
+			{
+				TUs: 15_000_000, Type: "inbound-rtp", Client: "c1", Origin: "c3",
+				FramesDecoded: 120, FPS: 8, FrameWidth: 320, FrameHeight: 180,
+				BytesReceived: 240_100,
+			},
+		},
+		Pair: CandidatePair{
+			TUs: 15_000_000, Type: "candidate-pair", Client: "c1",
+			RTTSeconds: 0.082, AvailableOut: 1_900_000,
+			BytesSent: 3_400_000, BytesRecv: 2_152_400,
+		},
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range r.Entries() {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	golden := filepath.Join("testdata", "getstats.golden.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (set UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("getStats JSONL schema drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Structural floor independent of the golden bytes: every line is
+	// valid JSON with the spec discriminator.
+	for i, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if m["type"] == "" || m["t_us"] == nil || m["client"] == nil {
+			t.Errorf("line %d missing type/t_us/client: %s", i, line)
+		}
+	}
+}

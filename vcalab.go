@@ -34,6 +34,7 @@ import (
 	"vcalab/internal/cascade"
 	"vcalab/internal/experiment"
 	"vcalab/internal/netem"
+	"vcalab/internal/obs"
 	"vcalab/internal/runner"
 	"vcalab/internal/scenario"
 	"vcalab/internal/sim"
@@ -283,6 +284,44 @@ type (
 	// benchmark (events/sec, allocs/event, sim-seconds per wall-second).
 	EngineBenchConfig = experiment.EngineBenchConfig
 	EngineBenchResult = experiment.EngineBenchResult
+)
+
+// Observability (internal/obs): a ring-buffer tracer of typed sim-time
+// events and a sampled metrics registry. A nil *Tracer is a valid no-op
+// tracer; attaching a real one never changes experiment output.
+type (
+	// Tracer records packet/CC/switch/scenario/churn events into a
+	// fixed-capacity ring exportable as JSONL.
+	Tracer = obs.Tracer
+	// TraceEvent is one traced record; TraceEventKind its taxonomy.
+	TraceEvent     = obs.Event
+	TraceEventKind = obs.EventKind
+	// MetricsRegistry/MetricsLog are the sampled named-metric half.
+	MetricsRegistry = obs.Registry
+	MetricsLog      = obs.MetricsLog
+	// ObsConfig enables per-trial capture on a dynamic run (see
+	// DynamicConfig.Obs).
+	ObsConfig = experiment.ObsConfig
+)
+
+var (
+	// NewTracer builds a tracer holding the last n events (n <= 0 uses
+	// the package default capacity).
+	NewTracer = obs.NewTracer
+	// NewMetricsRegistry builds an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+)
+
+// Traced event kinds.
+const (
+	EvEnqueue  = obs.EvEnqueue
+	EvDequeue  = obs.EvDequeue
+	EvDrop     = obs.EvDrop
+	EvDeliver  = obs.EvDeliver
+	EvCC       = obs.EvCC
+	EvSwitch   = obs.EvSwitch
+	EvScenario = obs.EvScenario
+	EvChurn    = obs.EvChurn
 )
 
 // Directions.
