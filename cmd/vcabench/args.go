@@ -25,9 +25,12 @@ type obsFlags struct {
 // negative -parallel was silently coerced to "all cores" and a bad
 // -scenario surfaced only after other sweeps had already burned minutes;
 // likewise an unwritable -trace path must fail here, not after the sweep.
-func validateFlags(exp, bench, scenarioName string, parallel, reps, fuzz int, obs obsFlags) error {
+func validateFlags(exp, bench, scenarioName string, parallel, reps, fuzz, shards int, obs obsFlags) error {
 	if parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 = all cores, 1 = sequential); got %d", parallel)
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (<= 1 = one engine per trial; capped at the region count); got %d", shards)
 	}
 	if reps < 1 {
 		return fmt.Errorf("-reps must be >= 1; got %d", reps)

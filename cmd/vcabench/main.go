@@ -9,14 +9,17 @@
 //	vcabench -experiment table2
 //	vcabench -experiment fig1a -reps 5
 //	vcabench -experiment scale -quick
+//	vcabench -experiment scale -shards 3
 //	vcabench -experiment all -quick
 //	vcabench -bench scale -json
-//	vcabench -bench engine -json
+//	vcabench -bench engine -json -shards 3
 //
 // Independent trials fan out across all cores by default (-parallel 0);
 // output is byte-identical to a sequential run (-parallel 1) because each
 // trial is seeded from (base seed, trial index) on its own engine and
-// results aggregate in input order.
+// results aggregate in input order. -shards N additionally partitions
+// each trial's engine by region (conservative-window parallel DES);
+// experiment output is byte-identical at every shard count too.
 package main
 
 import (
@@ -38,6 +41,7 @@ var (
 	quick    = flag.Bool("quick", false, "coarser grids and shorter calls")
 	seed     = flag.Int64("seed", 1, "base simulation seed")
 	parallel = flag.Int("parallel", 0, "trials run concurrently (0 = all cores, 1 = sequential); results are identical either way")
+	shards   = flag.Int("shards", 1, "region shards per trial for scale/dynamic/fuzz/bench-engine (<= 1 = one engine; capped at the region count); experiment output is identical at every value")
 	progress = flag.Bool("progress", true, "report per-sweep trial progress on stderr")
 	list     = flag.Bool("list", false, "list experiment ids with descriptions and exit")
 	scen     = flag.String("scenario", "all", "with -experiment dynamic: canned scenario name (see EXPERIMENTS.md), `gen[:seed]` for a generated one, or `all`")
@@ -92,7 +96,7 @@ func main() {
 		"experiment id (see -list): table2, fig1a..fig15, impairment, scale, dynamic, all")
 	flag.Parse()
 
-	if err := validateFlags(*exp, *bench, *scen, *parallel, *reps, *fuzzN, obsFlags{
+	if err := validateFlags(*exp, *bench, *scen, *parallel, *reps, *fuzzN, *shards, obsFlags{
 		trace: *traceFile, metrics: *metricsFile, interval: *obsInterval,
 		cpuprofile: *cpuprofile, memprofile: *memprofile,
 	}); err != nil {
@@ -379,6 +383,7 @@ func scaleConfig(p *vcalab.Profile, par int) vcalab.ScaleConfig {
 		Warmup:       20 * time.Second,
 		Seed:         *seed,
 		Parallel:     par,
+		Shards:       *shards,
 	}
 	if *quick {
 		cfg.Participants = []int{8, 16}
@@ -408,6 +413,7 @@ func runFuzz() {
 		N:        *fuzzN,
 		Seed:     *seed,
 		Parallel: *parallel,
+		Shards:   *shards,
 	}
 	if *quick {
 		cfg.Participants = 6
@@ -433,6 +439,7 @@ func dynamicConfig(p *vcalab.Profile, scenarioName string) vcalab.DynamicConfig 
 		Warmup:       15 * time.Second,
 		Seed:         *seed,
 		Parallel:     *parallel,
+		Shards:       *shards,
 	}
 	if *quick {
 		cfg.Participants = 8
@@ -528,7 +535,13 @@ func dynamic() {
 // throughput of the sweep engine on cascade workloads.
 func benchScale() {
 	type benchRun struct {
+		// Workers is the worker count the run actually used — on a
+		// single-core host only the workers:1 run exists (the old code
+		// recorded two identical entries). GOMAXPROCS and Shards pin
+		// the conditions the numbers were measured under.
 		Workers                 int     `json:"workers"`
+		GOMAXPROCS              int     `json:"gomaxprocs"`
+		Shards                  int     `json:"shards"`
 		WallSeconds             float64 `json:"wall_seconds"`
 		NsPerTrial              float64 `json:"ns_per_trial"`
 		SimSecondsPerWallSecond float64 `json:"sim_seconds_per_wall_second"`
@@ -543,9 +556,13 @@ func benchScale() {
 	trials := len(cfg.Participants) * len(cfg.InterMbps) * cfg.Reps
 	simSeconds := float64(trials) * cfg.Dur.Seconds()
 
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
 	var runs []benchRun
 	var outputs []string
-	for _, workers := range []int{1, runtime.NumCPU()} {
+	for _, workers := range workerCounts {
 		cfg.Parallel = workers
 		start := time.Now()
 		rs := vcalab.RunScale(cfg)
@@ -555,14 +572,19 @@ func benchScale() {
 		outputs = append(outputs, buf.String())
 		runs = append(runs, benchRun{
 			Workers:                 workers,
+			GOMAXPROCS:              runtime.GOMAXPROCS(0),
+			Shards:                  cfg.Shards,
 			WallSeconds:             wall.Seconds(),
 			NsPerTrial:              float64(wall.Nanoseconds()) / float64(trials),
 			SimSecondsPerWallSecond: simSeconds / wall.Seconds(),
 		})
-		fmt.Printf("scale bench: %2d worker(s)  %6.2fs wall  %8.0f ns/trial  %6.1f sim-s/wall-s\n",
-			workers, wall.Seconds(), runs[len(runs)-1].NsPerTrial, runs[len(runs)-1].SimSecondsPerWallSecond)
+		fmt.Printf("scale bench: %2d worker(s)  %d shard(s)  %6.2fs wall  %8.0f ns/trial  %6.1f sim-s/wall-s\n",
+			workers, cfg.Shards, wall.Seconds(), runs[len(runs)-1].NsPerTrial, runs[len(runs)-1].SimSecondsPerWallSecond)
 	}
-	deterministic := len(outputs) == 2 && outputs[0] == outputs[1]
+	deterministic := true
+	for _, out := range outputs[1:] {
+		deterministic = deterministic && out == outputs[0]
+	}
 	fmt.Printf("scale bench: parallel output identical to sequential: %v\n", deterministic)
 
 	if *jsonOut {
@@ -610,11 +632,12 @@ var engineBaseline = vcalab.EngineBenchResult{
 // allocs/event and sim-seconds per wall-second on a cascaded call — and
 // records the result next to the pre-refactor baseline.
 func benchEngine() {
-	cfg := vcalab.EngineBenchConfig{Profile: vcalab.Teams(), Seed: *seed}
+	cfg := vcalab.EngineBenchConfig{Profile: vcalab.Teams(), Seed: *seed, Shards: *shards}
 	if *quick {
 		cfg.Participants = 8
 		cfg.Dur = 10 * time.Second
 		cfg.MicroEvents = 200_000
+		cfg.ShardParticipants = 12
 	}
 	cur := vcalab.RunEngineBench(cfg)
 	fmt.Printf("engine bench: %9d events  %6.2fs wall  %9.0f events/s  %5.2f allocs/event  %6.1f sim-s/wall-s\n",
@@ -623,6 +646,14 @@ func benchEngine() {
 		cur.MicroEventsPerSecond, cur.MicroAllocsPerEvent)
 	fmt.Printf("routing micro:%9.0f events/s  %5.2f allocs/event\n",
 		cur.RouteEventsPerSecond, cur.RouteAllocsPerEvent)
+	if sh := cur.Sharded; sh != nil {
+		fmt.Printf("sharded macro: %dp/%d shards  %6.2fs wall vs %6.2fs sequential  %.2fx speedup  %d windows  mailbox hw %d  output match %v\n",
+			sh.Participants, sh.Shards, sh.WallSeconds, sh.SeqWallSeconds, sh.Speedup, sh.Windows, sh.MailboxHighWater, sh.OutputMatches)
+		for k := range sh.ShardEventsPerSecond {
+			fmt.Printf("  shard %d: %9.0f events/s busy  %5.1f%% barrier wait\n",
+				k, sh.ShardEventsPerSecond[k], 100*sh.ShardBarrierWaitFrac[k])
+		}
+	}
 	if engineBaseline.EventsPerSecond > 0 {
 		fmt.Printf("vs baseline:  %.2fx events/s  %.2fx allocs/event  %.2fx sim-s/wall-s  %.2fx routing events/s\n",
 			cur.EventsPerSecond/engineBaseline.EventsPerSecond,
@@ -668,6 +699,27 @@ func benchEngine() {
 			if cur.EventsPerSecond < want {
 				fmt.Fprintf(os.Stderr, "bench check FAIL: %.0f events/s regresses >20%% vs baseline %.0f (hardware-normalized to %.0f)\n",
 					cur.EventsPerSecond, engineBaseline.EventsPerSecond, want/0.8)
+				failed = true
+			}
+		}
+		// Sharded-mode gate (active when run with -shards > 1): the
+		// sharded engine must reproduce the sequential run's event count
+		// and delivery counters exactly, and — when the shard goroutines
+		// have cores to spread over — must actually be faster. The
+		// speedup floor is deliberately below the recorded-hardware
+		// figure (BENCH_engine.json) so shared CI runners don't flake;
+		// on a single-core host only correctness is enforced.
+		if sh := cur.Sharded; sh != nil {
+			if !sh.OutputMatches {
+				fmt.Fprintln(os.Stderr, "bench check FAIL: sharded run diverged from the sequential event set")
+				failed = true
+			}
+			switch {
+			case *quick:
+			case sh.GOMAXPROCS < 2:
+				fmt.Printf("bench check: sharded speedup floor skipped (GOMAXPROCS %d)\n", sh.GOMAXPROCS)
+			case sh.Speedup < 1.2:
+				fmt.Fprintf(os.Stderr, "bench check FAIL: sharded speedup %.2fx below the 1.2x floor\n", sh.Speedup)
 				failed = true
 			}
 		}

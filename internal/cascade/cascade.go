@@ -100,11 +100,34 @@ type Mesh struct {
 	accessUp, accessDown map[string]*netem.Link
 }
 
+// interConfig resolves the directed i→j inter-region link configuration,
+// applying the topology default and the DefaultInterDelay fallback.
+func interConfig(topo Topology, i, j int) netem.LinkConfig {
+	cfg := topo.Default
+	if c, ok := topo.Inter[[2]int{i, j}]; ok {
+		cfg = c
+	}
+	if cfg == (netem.LinkConfig{}) {
+		cfg.Delay = DefaultInterDelay
+	}
+	return cfg
+}
+
 // Build wires the topology into a multi-router netem lab. SFU hosts are
 // named "sfu-<region>"; client host names come from the topology.
 func Build(eng *sim.Engine, topo Topology) *Mesh {
+	return build(eng, topo, nil)
+}
+
+// build wires the topology. engOf, when non-nil, picks the engine each
+// region's hosts and links live on (the region-sharded layout); an inter
+// link lives on its source region's engine. Nil means everything on eng.
+func build(eng *sim.Engine, topo Topology, engOf func(ri int) *sim.Engine) *Mesh {
 	if len(topo.Regions) == 0 {
 		panic("cascade: topology needs at least one region")
+	}
+	if engOf == nil {
+		engOf = func(int) *sim.Engine { return eng }
 	}
 	m := &Mesh{
 		Eng: eng, topo: topo,
@@ -124,26 +147,21 @@ func Build(eng *sim.Engine, topo Topology) *Mesh {
 			if i == j {
 				continue
 			}
-			cfg := topo.Default
-			if c, ok := topo.Inter[[2]int{i, j}]; ok {
-				cfg = c
-			}
-			if cfg == (netem.LinkConfig{}) {
-				cfg.Delay = DefaultInterDelay
-			}
+			cfg := interConfig(topo, i, j)
 			name := "inter/" + topo.Regions[i].Name + "-" + topo.Regions[j].Name
-			l := netem.NewLink(eng, name, cfg, m.Routers[j])
+			l := netem.NewLink(engOf(i), name, cfg, m.Routers[j])
 			m.inter[i][j] = l
 			m.pairs = append(m.pairs, [2]int{i, j})
 		}
 	}
 	for ri, r := range topo.Regions {
+		rEng := engOf(ri)
 		sfuDelay := r.SFUDelay
 		if sfuDelay == 0 {
 			sfuDelay = DefaultSFUDelay
 		}
-		sfu := netem.NewHost(eng, "sfu-"+r.Name)
-		up, down := netem.Attach(eng, sfu, m.Routers[ri], netem.LinkConfig{Delay: sfuDelay})
+		sfu := netem.NewHost(rEng, "sfu-"+r.Name)
+		up, down := netem.Attach(rEng, sfu, m.Routers[ri], netem.LinkConfig{Delay: sfuDelay})
 		m.accessUp[sfu.Name], m.accessDown[sfu.Name] = up, down
 		m.SFUs = append(m.SFUs, sfu)
 		m.routeRemote(ri, sfu.Name)
@@ -154,8 +172,8 @@ func Build(eng *sim.Engine, topo Topology) *Mesh {
 		}
 		var hosts []*netem.Host
 		for _, name := range r.Clients {
-			h := netem.NewHost(eng, name)
-			up, down := netem.Attach(eng, h, m.Routers[ri], access)
+			h := netem.NewHost(rEng, name)
+			up, down := netem.Attach(rEng, h, m.Routers[ri], access)
 			m.accessUp[name], m.accessDown[name] = up, down
 			hosts = append(hosts, h)
 			m.routeRemote(ri, name)

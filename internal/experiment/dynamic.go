@@ -43,6 +43,12 @@ type DynamicConfig struct {
 	// Parallel is the trial parallelism; 0 = package default, 1 =
 	// sequential. Output is identical for every value.
 	Parallel int
+	// Shards selects intra-trial region-sharded parallel execution
+	// (<= 1 runs each trial on one engine). The experiment's stdout is
+	// identical for every value; trace and engine-internal metrics lines
+	// are deterministic per shard count but not identical across counts
+	// (see DESIGN.md §12). Compounds with Parallel.
+	Shards int
 
 	// Obs enables per-trial observability capture (observe.go); nil
 	// leaves the hot path untouched. TraceW/MetricsW receive every
@@ -137,7 +143,6 @@ func scenarioSalt(name string) int64 {
 // runTrial executes one repetition on a fresh engine.
 func (cfg *DynamicConfig) runTrial(rep int) dynamicTrial {
 	seed := runner.Seed(cfg.Seed+scenarioSalt(cfg.Scenario.Name), rep)
-	eng := sim.New(seed)
 
 	assign := cascade.Assign(cfg.Participants, cfg.Regions)
 	topo := cascade.Topology{
@@ -148,17 +153,35 @@ func (cfg *DynamicConfig) runTrial(rep int) dynamicTrial {
 			Name: fmt.Sprintf("r%d", r), Clients: assign[r],
 		})
 	}
-	mesh := cascade.Build(eng, topo)
-	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+	var (
+		mesh *cascade.Mesh
+		sm   *cascade.ShardedMesh
+		eng  *sim.Engine // the control engine of a sharded run
+		call *vca.Call
+	)
+	if plan := cascade.PlanShards(topo, cfg.Shards); plan.NumShards > 1 {
+		sm = cascade.BuildSharded(seed, topo, plan)
+		defer sm.Group.Close()
+		mesh, eng = sm.Mesh, sm.Eng
+		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+	} else {
+		eng = sim.New(seed)
+		mesh = cascade.Build(eng, topo)
+		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+	}
 	tl := scenario.New(eng, call, scenario.MeshLinks(mesh), cfg.Scenario)
-	to := instrumentTrial(cfg.Obs, eng, mesh, call, tl)
+	to := instrumentTrial(cfg.Obs, sm, eng, mesh, call, tl)
 	tl.Start() // events at t<=0 (a thinned starting roster) apply before the call starts
 	call.Start()
-	eng.RunUntil(cfg.Dur)
+	if sm != nil {
+		sm.Group.RunUntil(cfg.Dur)
+	} else {
+		eng.RunUntil(cfg.Dur)
+	}
 	call.Stop()
 
 	var t dynamicTrial
-	t.obs = to
+	t.obs = to.finish()
 	t.down = call.C1().DownMeter.MeanRateMbps(cfg.Warmup, cfg.Dur)
 
 	var freezeSum float64

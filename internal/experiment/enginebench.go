@@ -32,6 +32,15 @@ type EngineBenchConfig struct {
 	// call (default 16); RouteDur is its simulated length (default 10s).
 	RouteParticipants int
 	RouteDur          time.Duration
+	// Shards > 1 adds the sharded macro section: a ShardParticipants-
+	// party cascaded call timed once on one engine and once region-
+	// sharded Shards ways, reporting the speedup and the conservative-
+	// window accounting behind it. Off by default — the headline macro
+	// numbers stay single-threaded.
+	Shards int
+	// ShardParticipants sizes the sharded macro call (default 48,
+	// spread over Regions: the scale workload the shards exist for).
+	ShardParticipants int
 }
 
 func (c *EngineBenchConfig) defaults() {
@@ -55,6 +64,9 @@ func (c *EngineBenchConfig) defaults() {
 	}
 	if c.RouteDur == 0 {
 		c.RouteDur = 10 * time.Second
+	}
+	if c.ShardParticipants == 0 {
+		c.ShardParticipants = 48
 	}
 }
 
@@ -83,6 +95,47 @@ type EngineBenchResult struct {
 	WheelInsertRatio      float64 `json:"wheel_insert_ratio"`
 	MaxLinkQueueHighWater int     `json:"max_link_queue_high_water_bytes"`
 	LinkDrops             uint64  `json:"link_drops"`
+
+	// Sharded reports the region-sharded macro section (nil unless the
+	// bench ran with Shards > 1): the ShardParticipants-party cascaded
+	// call on one engine vs region-sharded, with per-shard accounting.
+	Sharded *ShardedBenchResult `json:"sharded,omitempty"`
+}
+
+// ShardedBenchResult compares one cascaded-call workload executed
+// sequentially and region-sharded, and surfaces the conservative-window
+// engine's per-shard counters.
+type ShardedBenchResult struct {
+	Shards       int `json:"shards"`
+	Participants int `json:"participants"`
+	// GOMAXPROCS records the cores the shard goroutines could actually
+	// spread over — on a single-core host the sharded run measures pure
+	// synchronization overhead, not speedup, and must be read as such.
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	SeqEvents          uint64  `json:"seq_events"`
+	SeqWallSeconds     float64 `json:"seq_wall_seconds"`
+	SeqEventsPerSecond float64 `json:"seq_events_per_second"`
+
+	// Events sums the control and shard engines' executed events; it
+	// must equal SeqEvents — the sharded run executes the same event
+	// set — and OutputMatches additionally compares the topologies'
+	// delivered/dropped byte counters between the two runs.
+	Events          uint64  `json:"events"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSecond float64 `json:"events_per_second"`
+	Speedup         float64 `json:"speedup"`
+	OutputMatches   bool    `json:"output_matches_sequential"`
+
+	// Windows is the number of conservative synchronization windows;
+	// ShardEventsPerSecond is each shard's throughput over its busy
+	// time; ShardBarrierWaitFrac is the share of the run each shard
+	// spent parked at window barriers; MailboxHighWater is the deepest
+	// cross-shard mailbox backlog observed between drains.
+	Windows              uint64    `json:"windows"`
+	ShardEventsPerSecond []float64 `json:"shard_events_per_second"`
+	ShardBarrierWaitFrac []float64 `json:"shard_barrier_wait_frac"`
+	MailboxHighWater     int       `json:"mailbox_high_water"`
 }
 
 // RunEngineBench measures the simulation engine on one cascaded call plus
@@ -94,15 +147,7 @@ func RunEngineBench(cfg EngineBenchConfig) EngineBenchResult {
 
 	// --- macro: one cascaded call on one engine ---
 	eng := sim.New(cfg.Seed)
-	assign := cascade.Assign(cfg.Participants, cfg.Regions)
-	topo := cascade.Topology{
-		Default: netem.LinkConfig{RateBps: cfg.InterMbps * 1e6, Delay: cascade.DefaultInterDelay},
-	}
-	for r := 0; r < cfg.Regions; r++ {
-		topo.Regions = append(topo.Regions, cascade.Region{
-			Name: fmt.Sprintf("r%d", r), Clients: assign[r],
-		})
-	}
+	topo := benchTopology(&cfg, cfg.Participants)
 	mesh := cascade.Build(eng, topo)
 	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
 
@@ -197,5 +242,102 @@ func RunEngineBench(cfg EngineBenchConfig) EngineBenchResult {
 		res.RouteEventsPerSecond = float64(ev) / routeWall.Seconds()
 		res.RouteAllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(ev)
 	}
+
+	if cfg.Shards > 1 {
+		res.Sharded = runShardedBench(cfg)
+	}
 	return res
+}
+
+// benchTopology builds the n-participant cascade the bench workloads
+// share.
+func benchTopology(cfg *EngineBenchConfig, n int) cascade.Topology {
+	assign := cascade.Assign(n, cfg.Regions)
+	topo := cascade.Topology{
+		Default: netem.LinkConfig{RateBps: cfg.InterMbps * 1e6, Delay: cascade.DefaultInterDelay},
+	}
+	for r := 0; r < cfg.Regions; r++ {
+		topo.Regions = append(topo.Regions, cascade.Region{
+			Name: fmt.Sprintf("r%d", r), Clients: assign[r],
+		})
+	}
+	return topo
+}
+
+// benchFingerprint reduces a finished trial's observable outcome to the
+// topology-wide delivery counters — enough to flag a sharded run that
+// diverged from the sequential one (the byte-level identity is pinned by
+// the package tests; the bench cross-checks every run it times).
+func benchFingerprint(mesh *cascade.Mesh) (delivered, dropped uint64) {
+	for _, l := range mesh.Links() {
+		delivered += l.DeliveredBytes
+		dropped += l.Drops
+	}
+	return delivered, dropped
+}
+
+// runShardedBench times the ShardParticipants-party cascaded call once
+// sequentially and once region-sharded, on identical seeds.
+func runShardedBench(cfg EngineBenchConfig) *ShardedBenchResult {
+	topo := benchTopology(&cfg, cfg.ShardParticipants)
+	plan := cascade.PlanShards(topo, cfg.Shards)
+	if plan.NumShards <= 1 {
+		return nil // no positive cross-shard delay floor: nothing to time
+	}
+	sb := &ShardedBenchResult{
+		Shards: plan.NumShards, Participants: cfg.ShardParticipants,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	eng := sim.New(cfg.Seed)
+	mesh := cascade.Build(eng, topo)
+	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+	start := time.Now()
+	call.Start()
+	eng.RunUntil(cfg.Dur)
+	call.Stop()
+	seqWall := time.Since(start)
+	sb.SeqEvents = eng.Processed()
+	sb.SeqWallSeconds = seqWall.Seconds()
+	if seqWall > 0 {
+		sb.SeqEventsPerSecond = float64(sb.SeqEvents) / seqWall.Seconds()
+	}
+	seqDelivered, seqDropped := benchFingerprint(mesh)
+
+	sm := cascade.BuildSharded(cfg.Seed, topo, plan)
+	defer sm.Group.Close()
+	shCall := sm.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+	start = time.Now()
+	shCall.Start()
+	sm.Group.RunUntil(cfg.Dur)
+	shCall.Stop()
+	wall := time.Since(start)
+
+	sb.Events = sm.Eng.Processed()
+	for _, se := range sm.ShardEngines {
+		sb.Events += se.Processed()
+	}
+	sb.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		sb.EventsPerSecond = float64(sb.Events) / wall.Seconds()
+	}
+	if sb.WallSeconds > 0 && sb.SeqWallSeconds > 0 {
+		sb.Speedup = sb.SeqWallSeconds / sb.WallSeconds
+	}
+	delivered, dropped := benchFingerprint(sm.Mesh)
+	sb.OutputMatches = sb.Events == sb.SeqEvents &&
+		delivered == seqDelivered && dropped == seqDropped
+
+	st := sm.Group.Stats()
+	sb.Windows = st.Windows
+	sb.MailboxHighWater = st.MailboxHighWater
+	sb.ShardBarrierWaitFrac = st.ShardBarrierWaitFrac
+	for k, n := range st.ShardProcessed {
+		eps := 0.0
+		if k < len(st.ShardBusySeconds) && st.ShardBusySeconds[k] > 0 {
+			eps = float64(n) / st.ShardBusySeconds[k]
+		}
+		sb.ShardEventsPerSecond = append(sb.ShardEventsPerSecond, eps)
+	}
+	return sb
 }

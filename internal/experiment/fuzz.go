@@ -30,6 +30,9 @@ type FuzzConfig struct {
 	Dur          time.Duration
 	// Parallel is the trial parallelism; 0 = package default.
 	Parallel int
+	// Shards runs every replay region-sharded (<= 1 keeps the
+	// sequential engine); the harness asserts its invariants per shard.
+	Shards int
 }
 
 func (c *FuzzConfig) defaults() {
@@ -92,6 +95,7 @@ func RunFuzz(cfg FuzzConfig) FuzzResult {
 			InterBps:     cfg.InterMbps * 1e6,
 			Dur:          cfg.Dur,
 			Seed:         seed,
+			Shards:       cfg.Shards,
 		})
 		t := fuzzTrial{events: len(sc.Events)}
 		if len(violations) > 0 {

@@ -42,27 +42,67 @@ type ObsConfig struct {
 	TraceCap int
 }
 
-// trialObs is one repetition's captured observability state.
+// trialObs is one repetition's captured observability state. A sharded
+// trial records into parts (control tracer first, then shards in index
+// order); finish() folds them into tracer via obs.Merge.
 type trialObs struct {
 	tracer *obs.Tracer
+	parts  []*obs.Tracer
 	log    *obs.MetricsLog
+}
+
+// finish resolves the per-shard capture into the single tracer flushObs
+// writes. Call once, after the trial's run completes. Nil-safe, returns
+// its receiver so callers can assign through it.
+func (to *trialObs) finish() *trialObs {
+	if to != nil && len(to.parts) > 0 {
+		to.tracer = obs.Merge(to.parts...)
+		to.parts = nil
+	}
+	return to
 }
 
 // instrumentTrial attaches tracing and metrics sampling to a freshly
 // built trial. Call before the timeline starts so t<=0 scenario events
 // are captured. Returns nil when observability is off.
-func instrumentTrial(o *ObsConfig, eng *sim.Engine, mesh *cascade.Mesh, call *vca.Call, tl *scenario.Timeline) *trialObs {
+//
+// On a sharded trial (sm non-nil) each shard records into its own
+// tracer — the control tracer takes churn, timeline and trial-level
+// events — and finish() merges them in (time, control-then-shard-index)
+// order. The metrics sampler stays a control-engine global: it fires at
+// window barriers with every shard parked at the sample instant, so
+// link, call and getStats lines read exactly the state the sequential
+// run would have sampled. Engine-internal gauges aggregate over all
+// engines and remain deterministic, but scheduler internals (wheel
+// ratio, live high-water) legitimately differ across shard counts.
+func instrumentTrial(o *ObsConfig, sm *cascade.ShardedMesh, eng *sim.Engine, mesh *cascade.Mesh, call *vca.Call, tl *scenario.Timeline) *trialObs {
 	if o == nil || (!o.Trace && !o.Metrics) {
 		return nil
 	}
+	engines := []*sim.Engine{eng}
+	if sm != nil {
+		engines = append(engines, sm.ShardEngines...)
+	}
 	to := &trialObs{}
 	if o.Trace {
-		to.tracer = obs.NewTracer(o.TraceCap)
-		for _, l := range mesh.Links() {
-			l.SetTracer(to.tracer)
+		if sm != nil {
+			ctrlTr := obs.NewTracer(o.TraceCap)
+			shardTr := make([]*obs.Tracer, len(sm.ShardEngines))
+			for k := range shardTr {
+				shardTr[k] = obs.NewTracer(o.TraceCap)
+			}
+			sm.ShardTracers(call, shardTr)
+			call.SetChurnTracer(ctrlTr)
+			tl.SetTracer(ctrlTr)
+			to.parts = append([]*obs.Tracer{ctrlTr}, shardTr...)
+		} else {
+			to.tracer = obs.NewTracer(o.TraceCap)
+			for _, l := range mesh.Links() {
+				l.SetTracer(to.tracer)
+			}
+			call.SetTracer(to.tracer)
+			tl.SetTracer(to.tracer)
 		}
-		call.SetTracer(to.tracer)
-		tl.SetTracer(to.tracer)
 	}
 	if o.Metrics {
 		interval := o.Interval
@@ -71,7 +111,7 @@ func instrumentTrial(o *ObsConfig, eng *sim.Engine, mesh *cascade.Mesh, call *vc
 		}
 		to.log = &obs.MetricsLog{}
 		reg := obs.NewRegistry()
-		registerEngineMetrics(reg, eng)
+		registerEngineMetrics(reg, engines)
 		registerLinkMetrics(reg, mesh)
 		registerCallMetrics(reg, call)
 		rtt := reg.Histogram("vca/feedback_rtt_ms")
@@ -96,12 +136,41 @@ func instrumentTrial(o *ObsConfig, eng *sim.Engine, mesh *cascade.Mesh, call *vc
 	return to
 }
 
-func registerEngineMetrics(reg *obs.Registry, eng *sim.Engine) {
-	reg.Gauge("eng/processed", func() float64 { return float64(eng.Processed()) })
-	reg.Gauge("eng/live", func() float64 { return float64(eng.Live()) })
-	reg.Gauge("eng/live_high_water", func() float64 { return float64(eng.LiveHighWater()) })
+// registerEngineMetrics aggregates the scheduler gauges over every
+// engine of the trial: one entry sequentially, control plus shards on a
+// sharded run. Sums of processed/live match the sequential run at every
+// sample instant (the same event set precedes each barrier); high-water
+// and wheel-ratio are per-engine properties whose aggregate is
+// deterministic but shard-count-dependent.
+func registerEngineMetrics(reg *obs.Registry, engines []*sim.Engine) {
+	reg.Gauge("eng/processed", func() float64 {
+		var n uint64
+		for _, e := range engines {
+			n += e.Processed()
+		}
+		return float64(n)
+	})
+	reg.Gauge("eng/live", func() float64 {
+		n := 0
+		for _, e := range engines {
+			n += e.Live()
+		}
+		return float64(n)
+	})
+	reg.Gauge("eng/live_high_water", func() float64 {
+		n := 0
+		for _, e := range engines {
+			n += e.LiveHighWater()
+		}
+		return float64(n)
+	})
 	reg.Gauge("eng/wheel_insert_ratio", func() float64 {
-		w, h := eng.SchedulerInserts()
+		var w, h uint64
+		for _, e := range engines {
+			ew, eh := e.SchedulerInserts()
+			w += ew
+			h += eh
+		}
 		if w+h == 0 {
 			return 0
 		}

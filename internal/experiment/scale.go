@@ -35,6 +35,11 @@ type ScaleConfig struct {
 	// Parallel is the trial parallelism; 0 = package default, 1 =
 	// sequential. Output is identical for every value.
 	Parallel int
+	// Shards selects intra-trial region-sharded parallel execution
+	// (<= 1 runs each trial on one engine). Output is identical for
+	// every value: the sharded engine reproduces the sequential event
+	// order exactly. Compounds with Parallel.
+	Shards int
 }
 
 func (c *ScaleConfig) defaults() {
@@ -93,7 +98,6 @@ type scaleTrial struct {
 // runTrial executes one (n, capacity, repetition) cell on a fresh engine.
 func (cfg *ScaleConfig) runTrial(n int, interMbps float64, rep int) scaleTrial {
 	seed := cfg.Seed + int64(rep)*86243 + int64(n)*613 + int64(interMbps*1000)
-	eng := sim.New(seed)
 
 	assign := cascade.Assign(n, cfg.Regions)
 	topo := cascade.Topology{
@@ -104,11 +108,28 @@ func (cfg *ScaleConfig) runTrial(n int, interMbps float64, rep int) scaleTrial {
 			Name: fmt.Sprintf("r%d", r), Clients: assign[r],
 		})
 	}
-	mesh := cascade.Build(eng, topo)
-	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+	var (
+		mesh *cascade.Mesh
+		sm   *cascade.ShardedMesh
+		eng  *sim.Engine
+		call *vca.Call
+	)
+	if plan := cascade.PlanShards(topo, cfg.Shards); plan.NumShards > 1 {
+		sm = cascade.BuildSharded(seed, topo, plan)
+		defer sm.Group.Close()
+		mesh, eng = sm.Mesh, sm.Eng
+		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+	} else {
+		eng = sim.New(seed)
+		mesh = cascade.Build(eng, topo)
+		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+	}
 
 	// Snapshot inter-link counters at warmup so utilization covers the
-	// steady state only.
+	// steady state only. In a sharded run this is a control-engine
+	// global: it executes at a window barrier with every shard parked and
+	// advanced to the snapshot instant, so the counters it reads are
+	// exactly the sequential run's.
 	links := mesh.InterLinks()
 	startBytes := make([]uint64, len(links))
 	eng.Schedule(cfg.Warmup, func() {
@@ -118,7 +139,11 @@ func (cfg *ScaleConfig) runTrial(n int, interMbps float64, rep int) scaleTrial {
 	})
 
 	call.Start()
-	eng.RunUntil(cfg.Dur)
+	if sm != nil {
+		sm.Group.RunUntil(cfg.Dur)
+	} else {
+		eng.RunUntil(cfg.Dur)
+	}
 	call.Stop()
 
 	var t scaleTrial

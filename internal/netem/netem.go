@@ -199,11 +199,41 @@ type Link struct {
 	// sites guard with `if l.tracer != nil` so a disabled run never even
 	// evaluates the arguments; recording is read-only for the link.
 	tracer *obs.Tracer
+	// dTracer records the deliver event. Normally the same tracer as
+	// `tracer`; on a sharded boundary link delivery executes on the
+	// destination shard, so it gets that shard's tracer instead.
+	dTracer *obs.Tracer
+
+	// handoff, when set, makes this a shard-boundary link: instead of
+	// scheduling the propagation event locally, deliverAfter posts it to
+	// the mailbox, and the Group injects it into the destination shard's
+	// engine at the next window barrier (see Handoff).
+	handoff *sim.Mailbox
+	// handoffPayload re-homes the packet payload's pool ownership to the
+	// destination shard during the barrier drain; nil passes the payload
+	// pointer through (correct for immutable signalling messages).
+	handoffPayload func(any) any
+	// boundaryPool owns the envelope clones delivered across the
+	// boundary. It is touched only by the barrier drain (Get) and the
+	// destination shard (put at the terminal point), which never run
+	// concurrently, so it needs no locking.
+	boundaryPool PacketPool
 }
 
 // SetTracer attaches (or, with nil, detaches) an event tracer recording
 // this link's enqueue/dequeue/drop/deliver lifecycle.
-func (l *Link) SetTracer(t *obs.Tracer) { l.tracer = t }
+func (l *Link) SetTracer(t *obs.Tracer) { l.tracer, l.dTracer = t, t }
+
+// SetDeliverTracer overrides the tracer used for the deliver event only.
+// A sharded boundary link's deliveries execute on the destination shard,
+// so they must record into that shard's tracer while the send-side
+// events (enqueue/dequeue/drop) stay on the source shard's. Call after
+// SetTracer.
+func (l *Link) SetDeliverTracer(t *obs.Tracer) { l.dTracer = t }
+
+// Engine returns the engine this link schedules on — in a sharded run,
+// the shard that owns the link's send side.
+func (l *Link) Engine() *sim.Engine { return l.eng }
 
 // QueueHighWater reports the deepest the drop-tail queue has been, in
 // bytes — the buried counter behind every "why did latency spike" hunt.
@@ -321,9 +351,14 @@ func (l *Link) Send(pkt *Packet) {
 		l.drop(pkt, false)
 		return
 	}
-	if l.cfg.LossProb > 0 && l.eng.Rand().Float64() < l.cfg.LossProb {
-		l.drop(pkt, false)
-		return
+	if l.cfg.LossProb > 0 {
+		// p >= 1 always loses — skip the draw, so hard partitions
+		// consume no engine randomness and the RNG stream stays aligned
+		// across shard layouts.
+		if l.cfg.LossProb >= 1 || l.eng.Rand().Float64() < l.cfg.LossProb {
+			l.drop(pkt, false)
+			return
+		}
 	}
 	if l.cfg.RateBps <= 0 {
 		// Infinite-rate wire: pure propagation delay.
@@ -400,21 +435,81 @@ func (l *Link) deliverAfter(pkt *Packet, d time.Duration) {
 	if l.cfg.Jitter > 0 {
 		d += time.Duration(l.eng.Rand().Float64() * float64(l.cfg.Jitter))
 	}
+	if l.handoff != nil {
+		// Boundary link: the propagation event crosses shards. Post with
+		// exactly the key ScheduleArg would have stamped — arrival time,
+		// current clock, next source seq — so the destination merge
+		// reproduces the single-engine order.
+		now := l.eng.Now()
+		l.handoff.Post(now+d, now, l.eng.TakeSeq(), pkt)
+		return
+	}
 	l.eng.ScheduleArg(d, l, pkt)
 }
 
 // OnArgEvent implements sim.ArgHandler: one packet finished propagating.
 // Many such events are in flight per link; each carries its packet in the
-// pooled event's arg slot, so the transit path allocates nothing.
+// pooled event's arg slot, so the transit path allocates nothing. On a
+// boundary link this runs on the destination shard; the delivery-side
+// counters below are written only here, never by the send path, so the
+// split needs no synchronization beyond the window barrier.
 func (l *Link) OnArgEvent(now time.Duration, arg any) {
 	pkt := arg.(*Packet)
 	l.Delivered++
 	l.DeliveredBytes += uint64(pkt.Size)
-	if l.tracer != nil {
-		l.tracer.Packet(obs.EvDeliver, now, l.name, pkt.Flow, pkt.To.Host, pkt.Size, l.queuedSize, false)
+	if l.dTracer != nil {
+		// The send-side queue belongs to the other shard on a boundary
+		// link; even loading it here would race with the source shard's
+		// enqueue path. Boundary deliveries report depth 0.
+		q := 0
+		if l.handoff == nil {
+			q = l.queuedSize
+		}
+		l.dTracer.Packet(obs.EvDeliver, now, l.name, pkt.Flow, pkt.To.Host, pkt.Size, q, false)
 	}
 	l.dst.Deliver(pkt)
 }
+
+// Handoff converts this link into a shard-boundary link delivering into
+// dst (the destination region's engine): propagation events are posted
+// to the returned mailbox instead of scheduled locally, and each packet
+// envelope is re-homed to a boundary-owned pool during the barrier
+// drain. Register the mailbox with the shard Group. The link itself —
+// queue, serialization, drop accounting — stays wholly on the source
+// shard; only the final delivery hop crosses.
+func (l *Link) Handoff(dst *sim.Engine) *sim.Mailbox {
+	l.handoff = sim.NewMailbox(l.name, l.eng, dst, l, l.transferPacket)
+	return l.handoff
+}
+
+// SetHandoffPayload installs the payload re-homing hook used during the
+// barrier drain (media packets clone into the destination region's pool;
+// immutable signalling passes through). Wired by the sharded call
+// builder once the call — and with it the destination pools — exists.
+func (l *Link) SetHandoffPayload(fn func(any) any) { l.handoffPayload = fn }
+
+// transferPacket is the mailbox transfer hook: it runs at a window
+// barrier with both shards parked, clones the envelope into the
+// boundary pool, re-homes the payload, and releases the source-side
+// envelope back to its owning pool.
+func (l *Link) transferPacket(arg any) any {
+	src := arg.(*Packet)
+	dup := l.boundaryPool.Get()
+	dup.Size, dup.From, dup.To, dup.Flow, dup.SentAt = src.Size, src.From, src.To, src.Flow, src.SentAt
+	if l.handoffPayload != nil {
+		dup.Payload = l.handoffPayload(src.Payload)
+	} else {
+		dup.Payload = src.Payload
+	}
+	src.Payload = nil
+	src.Release()
+	return dup
+}
+
+// BoundaryPoolLive reports the boundary pool's outstanding envelope
+// count — zero once a sharded run drains, the cross-shard half of the
+// packet-conservation invariant.
+func (l *Link) BoundaryPoolLive() int { return l.boundaryPool.Live() }
 
 func (l *Link) drop(pkt *Packet, aqm bool) {
 	l.Drops++

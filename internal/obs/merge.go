@@ -1,0 +1,56 @@
+package obs
+
+// Merge combines several tracers' retained events into one tracer,
+// ordered by sim time with ties broken by argument position (pass the
+// control tracer first, then shards in index order, for the canonical
+// sharded-run merge). Within one part the recorded order is preserved.
+// The merged tracer's cumulative totals and per-kind counts are the sums
+// over the parts — including events the parts' rings had already
+// overwritten — so conservation cross-checks stay exact after merging.
+// Nil parts are skipped. The result is a snapshot: recording into it
+// afterwards is not supported.
+func Merge(parts ...*Tracer) *Tracer {
+	evs := make([][]Event, len(parts))
+	n := 0
+	for i, p := range parts {
+		evs[i] = p.Events() // nil-safe: returns nil for a nil tracer
+		n += len(evs[i])
+	}
+	capacity := n
+	if capacity == 0 {
+		capacity = 1
+	}
+	out := NewTracer(capacity)
+	idx := make([]int, len(parts))
+	for {
+		best := -1
+		for i := range parts {
+			if idx[i] >= len(evs[i]) {
+				continue
+			}
+			if best == -1 || evs[i][idx[i]].T < evs[best][idx[best]].T {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		*out.slot(evs[best][idx[best]].Kind) = evs[best][idx[best]]
+		idx[best]++
+	}
+	// slot() counted only the retained events; replace the accounting
+	// with the parts' cumulative sums so Total/Count/Dropped behave as if
+	// one tracer had seen everything.
+	out.total = 0
+	out.counts = [evKinds]uint64{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.total += p.total
+		for k := range p.counts {
+			out.counts[k] += p.counts[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMergeOrdersByTimeThenPart(t *testing.T) {
+	a := NewTracer(8)
+	b := NewTracer(8)
+	a.Packet(EvDeliver, 10*time.Millisecond, "la", "f", "c", 1, 0, false)
+	a.Packet(EvDrop, 30*time.Millisecond, "la", "f", "c", 1, 0, false)
+	b.Packet(EvDeliver, 10*time.Millisecond, "lb", "f", "c", 1, 0, false)
+	b.Packet(EvDeliver, 20*time.Millisecond, "lb", "f", "c", 1, 0, false)
+
+	m := Merge(a, b)
+	got := m.Events()
+	if len(got) != 4 {
+		t.Fatalf("merged %d events, want 4", len(got))
+	}
+	wantLinks := []string{"la", "lb", "lb", "la"} // 10ms tie: part 0 first
+	for i, e := range got {
+		if e.Link != wantLinks[i] {
+			t.Fatalf("event %d from link %s, want %s (order %v)", i, e.Link, wantLinks[i], got)
+		}
+	}
+	if m.Count(EvDeliver) != 3 || m.Count(EvDrop) != 1 || m.Total() != 4 {
+		t.Fatalf("merged counts deliver=%d drop=%d total=%d", m.Count(EvDeliver), m.Count(EvDrop), m.Total())
+	}
+}
+
+func TestMergePreservesCumulativeCountsAcrossWrap(t *testing.T) {
+	a := NewTracer(2) // ring wraps: retains 2 of 5
+	for i := 0; i < 5; i++ {
+		a.Packet(EvDrop, time.Duration(i)*time.Millisecond, "l", "f", "c", 1, 0, false)
+	}
+	m := Merge(a, nil)
+	if m.Count(EvDrop) != 5 || m.Total() != 5 {
+		t.Fatalf("cumulative counts lost in merge: drop=%d total=%d", m.Count(EvDrop), m.Total())
+	}
+	if m.Len() != 2 || m.Dropped() != 3 {
+		t.Fatalf("retained=%d dropped=%d, want 2/3", m.Len(), m.Dropped())
+	}
+}

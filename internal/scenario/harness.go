@@ -50,6 +50,11 @@ type HarnessConfig struct {
 	Dur time.Duration
 	// Seed seeds the engine and call.
 	Seed int64
+	// Shards selects region-sharded parallel execution (<= 1 runs the
+	// sequential engine; values above the region count are capped, and a
+	// topology with no positive cross-shard delay floor falls back to
+	// sequential). Every invariant below is asserted per shard.
+	Shards int
 }
 
 func (c *HarnessConfig) defaults() {
@@ -97,7 +102,6 @@ func Replay(sc Scenario, cfg HarnessConfig) []Violation {
 		return violationf(out, "validate", "%v", err)
 	}
 
-	eng := sim.New(cfg.Seed)
 	assign := cascade.Assign(cfg.Participants, cfg.Regions)
 	topo := cascade.Topology{
 		Default: netem.LinkConfig{RateBps: cfg.InterBps, Delay: cfg.InterDelay},
@@ -107,22 +111,53 @@ func Replay(sc Scenario, cfg HarnessConfig) []Violation {
 			Name: fmt.Sprintf("r%d", r), Clients: assign[r],
 		})
 	}
-	mesh := cascade.Build(eng, topo)
-	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+	var (
+		mesh *cascade.Mesh
+		sm   *cascade.ShardedMesh
+		eng  *sim.Engine // the control engine of a sharded run
+		call *vca.Call
+	)
+	if plan := cascade.PlanShards(topo, cfg.Shards); plan.NumShards > 1 {
+		sm = cascade.BuildSharded(cfg.Seed, topo, plan)
+		defer sm.Group.Close()
+		mesh, eng = sm.Mesh, sm.Eng
+		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+	} else {
+		eng = sim.New(cfg.Seed)
+		mesh = cascade.Build(eng, topo)
+		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+	}
 	tl := New(eng, call, MeshLinks(mesh), sc)
 	// Replay always runs traced: it both exercises the instrumented paths
 	// under fuzz and feeds the drop-conservation cross-check below. The
 	// ring may wrap on a loss-heavy scenario — that is fine, because the
-	// per-kind counts are cumulative.
-	tr := obs.NewTracer(1 << 12)
-	for _, l := range mesh.Links() {
-		l.SetTracer(tr)
+	// per-kind counts are cumulative. A sharded replay gets one tracer
+	// per shard plus the control tracer (churn + timeline), exactly the
+	// sharded experiment wiring.
+	ctrlTr := obs.NewTracer(1 << 12)
+	tracers := []*obs.Tracer{ctrlTr}
+	if sm != nil {
+		shardTr := make([]*obs.Tracer, len(sm.ShardEngines))
+		for k := range shardTr {
+			shardTr[k] = obs.NewTracer(1 << 12)
+			tracers = append(tracers, shardTr[k])
+		}
+		sm.ShardTracers(call, shardTr)
+		call.SetChurnTracer(ctrlTr)
+	} else {
+		for _, l := range mesh.Links() {
+			l.SetTracer(ctrlTr)
+		}
+		call.SetTracer(ctrlTr)
 	}
-	call.SetTracer(tr)
-	tl.SetTracer(tr)
+	tl.SetTracer(ctrlTr)
 	tl.Start()
 	call.Start()
-	eng.RunUntil(cfg.Dur)
+	if sm != nil {
+		sm.Group.RunUntil(cfg.Dur)
+	} else {
+		eng.RunUntil(cfg.Dur)
+	}
 	call.Stop()
 
 	if !tl.Done() {
@@ -131,8 +166,25 @@ func Replay(sc Scenario, cfg HarnessConfig) []Violation {
 	}
 
 	// Drain: with the call stopped, every in-flight packet, model event
-	// and cancelled ticker must come home.
-	eng.Run()
+	// and cancelled ticker must come home — on every shard.
+	if sm != nil {
+		sm.Group.Run()
+		for k, se := range sm.ShardEngines {
+			if n := se.Live(); n != 0 {
+				out = violationf(out, "event-pool", "shard %d: %d pooled engine events live after drain", k, n)
+			}
+			if n := se.Pending(); n != 0 {
+				out = violationf(out, "event-pool", "shard %d: %d events still pending after drain", k, n)
+			}
+		}
+		for bi, l := range sm.BoundaryLinks() {
+			if n := l.BoundaryPoolLive(); n != 0 {
+				out = violationf(out, "packet-pool", "boundary link %s (dst region %d) leaks %d envelopes", l.Name(), sm.BoundaryDst(bi), n)
+			}
+		}
+	} else {
+		eng.Run()
+	}
 	if n := eng.Live(); n != 0 {
 		out = violationf(out, "event-pool", "%d pooled engine events live after drain", n)
 	}
@@ -184,9 +236,13 @@ func Replay(sc Scenario, cfg HarnessConfig) []Violation {
 	for _, l := range mesh.Links() {
 		linkDrops += l.Drops
 	}
-	if got := tr.Count(obs.EvDrop); got != linkDrops {
+	var traced uint64
+	for _, tr := range tracers {
+		traced += tr.Count(obs.EvDrop)
+	}
+	if traced != linkDrops {
 		out = violationf(out, "drop-conservation",
-			"tracer recorded %d drop events, link counters total %d", got, linkDrops)
+			"tracers recorded %d drop events, link counters total %d", traced, linkDrops)
 	}
 
 	// Packet-pool conservation across every host of the topology.

@@ -378,7 +378,11 @@ func (t *Timeline) applyModel(l *netem.Link, spec LinkModelSpec, idx int) {
 	case ModelGE:
 		l.SetLossModel(netem.NewGilbertElliott(seed, spec.GE))
 	case ModelCellular:
-		netem.NewCellular(t.eng, l, seed, spec.Cell).Start()
+		// The handover ticker must live on the link's own engine: in a
+		// sharded run the link belongs to a region shard, and pausing it
+		// from another engine's event would race. Identical to t.eng in a
+		// sequential run.
+		netem.NewCellular(l.Engine(), l, seed, spec.Cell).Start()
 	case ModelBloat:
 		netem.ApplyBloat(l, spec.Bloat)
 	}

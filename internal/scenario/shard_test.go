@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReplayCannedSharded: the invariant harness — per-shard event-pool
+// drain, boundary-envelope conservation, drop conservation across the
+// per-shard tracers — holds for the whole canned corpus under
+// region-sharded execution.
+func TestReplayCannedSharded(t *testing.T) {
+	// The canned scenarios script a full 60-second call; truncating the
+	// replay would leave late events legitimately unapplied and trip the
+	// timeline invariant. Under -short, thin the corpus instead: one
+	// churn-heavy and one reshape-heavy scenario cover both sharded
+	// control paths.
+	names := CannedNames()
+	if testing.Short() {
+		names = []string{"churn-storm", "capacity-cliff"}
+	}
+	for _, name := range names {
+		sc, err := Canned(name, 8, 10e6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if vs := Replay(sc, HarnessConfig{Seed: 1, Dur: 60 * time.Second, Shards: 2}); len(vs) != 0 {
+			t.Errorf("%s sharded: %d violations: %v", name, len(vs), vs)
+		}
+	}
+}
+
+// TestFuzzShardedSmoke replays generated scenarios — churn storms,
+// partitions, WiFi bursts, cellular traces, bufferbloat — through the
+// sharded engine. This is the fuzz-harness leg of the pooled-packet
+// ownership-transfer coverage: every generated workload must drain to
+// zero live events and zero outstanding envelopes on every shard.
+func TestFuzzShardedSmoke(t *testing.T) {
+	n := int64(12)
+	if testing.Short() {
+		n = 3
+	}
+	for seed := int64(0); seed < n; seed++ {
+		sc, vs := FuzzOne(seed, HarnessConfig{
+			Participants: 6, Dur: 25 * time.Second, Seed: seed, Shards: 2,
+		})
+		if len(vs) != 0 {
+			t.Errorf("seed %d (%s, %d events): %v", seed, sc.Name, len(sc.Events), vs)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// logArg appends "now/arg" to a shared log on every dispatch.
+type logArg struct{ log *[]string }
+
+func (l *logArg) OnArgEvent(now time.Duration, arg any) {
+	*l.log = append(*l.log, fmt.Sprintf("%v/%v", now, arg))
+}
+
+func TestRunBeforeSemantics(t *testing.T) {
+	var log []string
+	h := &logArg{log: &log}
+	e := New(1)
+	e.inject(10*time.Millisecond, 3*time.Millisecond, 0, 0, h, "a")
+	e.inject(10*time.Millisecond, 7*time.Millisecond, 0, 1, h, "b")
+	e.inject(12*time.Millisecond, 0, 0, 2, h, "c")
+
+	e.RunBefore(10*time.Millisecond, math.MinInt64)
+	if len(log) != 0 {
+		t.Fatalf("MinInt64 schedLimit must exclude everything at atLimit, ran %v", log)
+	}
+	e.RunBefore(10*time.Millisecond, 7*time.Millisecond)
+	if want := []string{"10ms/a"}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("schedAt<limit slice: got %v want %v", log, want)
+	}
+	e.RunBefore(10*time.Millisecond, math.MaxInt64)
+	if want := []string{"10ms/a", "10ms/b"}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("MaxInt64 schedLimit must include atLimit: got %v want %v", log, want)
+	}
+	e.RunBefore(12*time.Millisecond, math.MaxInt64)
+	if want := []string{"10ms/a", "10ms/b", "12ms/c"}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("got %v want %v", log, want)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("live events after drain: %d", e.Live())
+	}
+}
+
+// TestInjectTieOrder is the cross-shard merge table test: events due at
+// the same instant order by (schedAt, src, seq), so same-instant arrivals
+// from different shards merge in a fixed, shard-index order.
+func TestInjectTieOrder(t *testing.T) {
+	var log []string
+	h := &logArg{log: &log}
+	e := New(1)
+	at := 10 * time.Millisecond
+	// Filed out of order on purpose: the heap must sort purely by key.
+	e.inject(at, 5*time.Millisecond, 2, 7, h, "src2")
+	e.inject(at, 5*time.Millisecond, 1, 9, h, "src1-late")
+	e.inject(at, 5*time.Millisecond, 0, 4, h, "ctrl")
+	e.inject(at, 5*time.Millisecond, 1, 2, h, "src1-early")
+	e.inject(at, 4*time.Millisecond, 3, 0, h, "earlier-schedAt")
+	e.Run()
+	want := []string{
+		"10ms/earlier-schedAt", // schedAt beats src and seq
+		"10ms/ctrl",            // control domain wins same-(at,schedAt) ties
+		"10ms/src1-early",      // then shard index...
+		"10ms/src1-late",       // ...then source seq within a shard
+		"10ms/src2",
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("merge order:\n got %v\nwant %v", log, want)
+	}
+}
+
+// pingNode bounces a hop count between two peers, recording every
+// receipt and a same-instant local event — the same code runs on one
+// sequential engine and split across two shards, and the logs must match
+// byte for byte.
+type pingNode struct {
+	name string
+	eng  *Engine
+	log  *[]string
+	send func(v int)
+}
+
+func (n *pingNode) OnArgEvent(now time.Duration, arg any) {
+	v := arg.(int)
+	*n.log = append(*n.log, fmt.Sprintf("%s@%v:%d", n.name, now, v))
+	n.eng.Schedule(0, func() {
+		*n.log = append(*n.log, fmt.Sprintf("%s-local@%v", n.name, n.eng.Now()))
+	})
+	if v > 0 {
+		n.send(v - 1)
+	}
+}
+
+const pingDelay = 10 * time.Millisecond
+
+func runSequentialPing(hops int, until time.Duration) []string {
+	var log []string
+	eng := New(42)
+	a := &pingNode{name: "a", eng: eng, log: &log}
+	b := &pingNode{name: "b", eng: eng, log: &log}
+	a.send = func(v int) { eng.ScheduleArg(pingDelay, b, v) }
+	b.send = func(v int) { eng.ScheduleArg(pingDelay, a, v) }
+	tick := eng.Every(7*time.Millisecond, func() {
+		log = append(log, fmt.Sprintf("tick@%v", eng.Now()))
+	})
+	eng.ScheduleArg(0, a, hops)
+	eng.RunUntil(until)
+	tick.Stop()
+	eng.Run()
+	return log
+}
+
+func runShardedPing(t *testing.T, hops int, until time.Duration) []string {
+	t.Helper()
+	var log []string
+	ctrl := New(42)
+	sa, sb := New(43), New(44)
+	g := NewGroup(ctrl, []*Engine{sa, sb}, func() time.Duration { return pingDelay })
+	defer g.Close()
+	a := &pingNode{name: "a", eng: sa, log: &log}
+	b := &pingNode{name: "b", eng: sb, log: &log}
+	mab := NewMailbox("a->b", sa, sb, b, nil)
+	mba := NewMailbox("b->a", sb, sa, a, nil)
+	g.Register(mab)
+	g.Register(mba)
+	a.send = func(v int) { mab.Post(sa.Now()+pingDelay, sa.Now(), sa.TakeSeq(), v) }
+	b.send = func(v int) { mba.Post(sb.Now()+pingDelay, sb.Now(), sb.TakeSeq(), v) }
+	tick := ctrl.Every(7*time.Millisecond, func() {
+		// Barrier contract: every shard is parked with its clock advanced
+		// to exactly the global's instant before the callback runs.
+		if sa.Now() != ctrl.Now() || sb.Now() != ctrl.Now() {
+			t.Errorf("global at %v ran with shard clocks %v/%v", ctrl.Now(), sa.Now(), sb.Now())
+		}
+		log = append(log, fmt.Sprintf("tick@%v", ctrl.Now()))
+	})
+	sa.ScheduleArg(0, a, hops)
+	g.RunUntil(until)
+	tick.Stop()
+	g.Run()
+
+	if g.Live() != 0 {
+		t.Fatalf("group live events after drain: %d", g.Live())
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("group pending events after drain: %d", g.Pending())
+	}
+	st := g.Stats()
+	if st.Windows == 0 {
+		t.Fatal("sharded run used zero windows")
+	}
+	if got := st.ShardProcessed[0] + st.ShardProcessed[1]; got == 0 {
+		t.Fatal("shard processed counters never advanced")
+	}
+	if mab.HighWater() == 0 {
+		t.Fatal("a->b mailbox high-water never advanced")
+	}
+	return log
+}
+
+// TestGroupMatchesSequential is the sharded-equivalence anchor: a
+// cross-shard ping-pong with same-instant local events and a window-
+// interior global ticker produces the exact sequential event order,
+// including a partial RunUntil horizon and the post-stop full drain.
+func TestGroupMatchesSequential(t *testing.T) {
+	for _, until := range []time.Duration{0, 33 * time.Millisecond, 100 * time.Millisecond} {
+		seq := runSequentialPing(7, until)
+		shard := runShardedPing(t, 7, until)
+		if !reflect.DeepEqual(seq, shard) {
+			t.Fatalf("until=%v: sharded log diverges\n seq   %v\n shard %v", until, seq, shard)
+		}
+		again := runShardedPing(t, 7, until)
+		if !reflect.DeepEqual(shard, again) {
+			t.Fatalf("until=%v: sharded run not deterministic", until)
+		}
+	}
+}
+
+// TestCrossShardSameInstantOrder pins the residual-ambiguity rule: two
+// shards posting to a third at the same instant with the same source
+// clock merge in shard-index order, regardless of mailbox registration
+// or posting order.
+func TestCrossShardSameInstantOrder(t *testing.T) {
+	for _, swapReg := range []bool{false, true} {
+		var log []string
+		ctrl := New(1)
+		s1, s2, s3 := New(2), New(3), New(4)
+		g := NewGroup(ctrl, []*Engine{s1, s2, s3}, func() time.Duration { return pingDelay })
+		rx := &logArg{log: &log}
+		m13 := NewMailbox("1->3", s1, s3, rx, nil)
+		m23 := NewMailbox("2->3", s2, s3, rx, nil)
+		if swapReg {
+			g.Register(m23)
+			g.Register(m13)
+		} else {
+			g.Register(m13)
+			g.Register(m23)
+		}
+		// Shard 2 posts first; shard-index order must still win.
+		s2.Schedule(0, func() { m23.Post(s2.Now()+pingDelay, s2.Now(), s2.TakeSeq(), "from-s2") })
+		s1.Schedule(0, func() { m13.Post(s1.Now()+pingDelay, s1.Now(), s1.TakeSeq(), "from-s1") })
+		g.RunUntil(pingDelay)
+		g.Close()
+		want := []string{"10ms/from-s1", "10ms/from-s2"}
+		if !reflect.DeepEqual(log, want) {
+			t.Fatalf("swapReg=%v: got %v want %v", swapReg, log, want)
+		}
+	}
+}
+
+func TestMailboxTransfer(t *testing.T) {
+	var log []string
+	ctrl := New(1)
+	s1, s2 := New(2), New(3)
+	g := NewGroup(ctrl, []*Engine{s1, s2}, func() time.Duration { return pingDelay })
+	defer g.Close()
+	rx := &logArg{log: &log}
+	m := NewMailbox("x", s1, s2, rx, func(arg any) any {
+		return "transferred:" + arg.(string)
+	})
+	g.Register(m)
+	s1.Schedule(0, func() { m.Post(s1.Now()+pingDelay, s1.Now(), s1.TakeSeq(), "payload") })
+	g.RunUntil(pingDelay)
+	if want := []string{"10ms/transferred:payload"}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("transfer hook: got %v want %v", log, want)
+	}
+}
+
+func TestGroupRunUntilAdvancesIdleClocks(t *testing.T) {
+	ctrl := New(1)
+	s1 := New(2)
+	g := NewGroup(ctrl, []*Engine{s1}, func() time.Duration { return pingDelay })
+	defer g.Close()
+	g.RunUntil(250 * time.Millisecond)
+	if ctrl.Now() != 250*time.Millisecond || s1.Now() != 250*time.Millisecond {
+		t.Fatalf("clocks after idle RunUntil: ctrl=%v shard=%v", ctrl.Now(), s1.Now())
+	}
+}
+
+func TestGroupLookaheadMustStayPositive(t *testing.T) {
+	ctrl := New(1)
+	s1 := New(2)
+	g := NewGroup(ctrl, []*Engine{s1}, func() time.Duration { return 0 })
+	defer g.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero lookahead must panic")
+		}
+	}()
+	g.RunUntil(time.Millisecond)
+}

@@ -67,8 +67,17 @@ type ArgHandler interface {
 
 // event is a pooled scheduler entry. Exactly one of fn, h or ah is set.
 type event struct {
-	at  time.Duration
-	seq uint64
+	at time.Duration
+	// schedAt is the engine clock at the moment the event was filed. In a
+	// single-engine run it refines nothing (see less); in a sharded run it
+	// is the cross-shard half of the ordering key.
+	schedAt time.Duration
+	seq     uint64
+	// src is the scheduling domain the event was filed from: 0 for the
+	// control engine (and every standalone engine), 1..N for shard
+	// engines. Constant within one engine; it only separates events after
+	// a cross-shard injection.
+	src uint32
 	// gen guards Timer handles across pooling: it increments every time
 	// the struct is recycled, so a stale Timer cannot cancel an
 	// unrelated reuse.
@@ -84,9 +93,24 @@ type event struct {
 	next *event
 }
 
+// less is the engine's total order: (at, schedAt, src, seq).
+//
+// Within a single engine this is exactly the classic (at, seq) order: the
+// clock is monotone across schedule calls, so seq is monotone in schedAt
+// and comparing schedAt first can never disagree with comparing seq; src
+// is constant. The extra fields exist for sharded runs, where events
+// injected from another shard carry that shard's (schedAt, src, seq) and
+// must interleave with local events exactly where a single sequential
+// engine would have placed them (see shard.go).
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.src != b.src {
+		return a.src < b.src
 	}
 	return a.seq < b.seq
 }
@@ -159,6 +183,11 @@ type Engine struct {
 	rng  *rand.Rand
 	// processed counts executed events, exposed for tests and benchmarks.
 	processed uint64
+
+	// src is the engine's scheduling-domain index, stamped into every
+	// event it files: 0 for a standalone or control engine, 1..N for the
+	// shards of a Group.
+	src uint32
 
 	wheel wheel
 	free  *event
@@ -249,6 +278,8 @@ func (e *Engine) add(at time.Duration, ev *event) Timer {
 		at = e.now
 	}
 	ev.at = at
+	ev.schedAt = e.now
+	ev.src = e.src
 	ev.seq = e.seq
 	e.seq++
 	if e.wheel.insert(e.now, ev) {
@@ -258,6 +289,34 @@ func (e *Engine) add(at time.Duration, ev *event) Timer {
 		e.heapPush(ev)
 	}
 	return Timer{ev: ev, gen: ev.gen}
+}
+
+// TakeSeq consumes and returns the engine's next scheduling sequence
+// number without filing an event. Cross-shard handoff (Mailbox.Post)
+// burns one source-engine seq per boundary packet, so entries posted from
+// the same instant keep the source's scheduling order after injection.
+func (e *Engine) TakeSeq() uint64 {
+	s := e.seq
+	e.seq++
+	return s
+}
+
+// inject files an event carrying a foreign ordering key — the mailbox
+// drain path. The caller (a Group barrier) guarantees at >= e.now.
+func (e *Engine) inject(at, schedAt time.Duration, src uint32, seq uint64, ah ArgHandler, arg any) {
+	ev := e.alloc()
+	ev.ah = ah
+	ev.arg = arg
+	ev.at = at
+	ev.schedAt = schedAt
+	ev.src = src
+	ev.seq = seq
+	if e.wheel.insert(e.now, ev) {
+		e.wheelIns++
+	} else {
+		e.heapIns++
+		e.heapPush(ev)
+	}
 }
 
 // Timer is a handle to a scheduled event. Stop cancels it. The zero Timer
@@ -515,6 +574,45 @@ func (e *Engine) RunUntil(t time.Duration) {
 		e.Step()
 	}
 	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunBefore executes every pending event whose ordering key strictly
+// precedes (atLimit, schedLimit): at < atLimit, or at == atLimit with
+// schedAt < schedLimit. It is the shard-window primitive: a Group parks a
+// shard here so a control-engine event at exactly (atLimit, schedLimit)
+// runs after everything that would have preceded it on a single engine.
+// Pass schedLimit = math.MinInt64 for a plain exclusive-end window
+// (at < atLimit only) and math.MaxInt64 to include everything at atLimit.
+// The clock is left at the last executed event; it does not advance to
+// atLimit.
+func (e *Engine) RunBefore(atLimit, schedLimit time.Duration) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > atLimit || (ev.at == atLimit && ev.schedAt >= schedLimit) {
+			return
+		}
+		e.Step()
+	}
+}
+
+// NextKey reports the ordering key of the earliest pending event, or
+// ok == false when the engine is drained.
+func (e *Engine) NextKey() (at, schedAt time.Duration, ok bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, 0, false
+	}
+	return ev.at, ev.schedAt, true
+}
+
+// advanceTo moves the clock forward to t without executing anything —
+// the Group uses it so events a barrier-time callback schedules onto a
+// parked shard are stamped from the barrier instant, exactly as a single
+// engine would have stamped them.
+func (e *Engine) advanceTo(t time.Duration) {
+	if t > e.now {
 		e.now = t
 	}
 }

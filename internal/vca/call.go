@@ -32,6 +32,11 @@ type CallOptions struct {
 type CascadePlacement struct {
 	Server  *netem.Host
 	Clients []*netem.Host
+	// Eng, when set, is the engine this region's protocol machinery
+	// schedules on — a shard of a region-sharded run. Nil means the
+	// call-wide engine (the sequential default). The region's hosts and
+	// links must live on the same engine.
+	Eng *sim.Engine
 }
 
 // Call wires N clients and one or more SFUs into a conference and manages
@@ -52,6 +57,7 @@ type Call struct {
 	eng     *sim.Engine
 	reg     *registry
 	tracer  *obs.Tracer // churn events; set via SetTracer
+	pools   []*mpPool   // per-region media-packet free lists
 	mode    ViewMode
 	home    []int32         // participant ID -> region index
 	left    map[string]bool // by name: a left participant's ID is recycled
@@ -113,11 +119,16 @@ func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement,
 			c.home[id] = int32(ri)
 		}
 	}
-	// One media-packet free list serves the whole call: every client and
-	// SFU of a call shares one single-threaded engine.
-	pool := &mpPool{}
+	// One media-packet free list per region: a region's clients and SFU
+	// always share one engine, so the pool stays single-threaded whether
+	// that engine is the call-wide one or a shard. Pool identity never
+	// affects event order, so splitting it is output-invisible.
+	c.pools = make([]*mpPool, len(regions))
+	for ri := range regions {
+		c.pools[ri] = &mpPool{}
+	}
 	for ri, r := range regions {
-		s := newServer(eng, prof, r.Server, c.reg, localIDs[ri], pool, total)
+		s := newServer(regionEngine(r, eng), prof, r.Server, c.reg, localIDs[ri], c.pools[ri], total)
 		c.home[s.id] = int32(ri)
 		c.Servers = append(c.Servers, s)
 	}
@@ -136,13 +147,42 @@ func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement,
 	i := 0
 	for ri, r := range regions {
 		for _, h := range r.Clients {
-			cl := newClient(eng, prof, h.Name, h, c.reg, regions[ri].Server.Name, ri, pool, opt.Seed+int64(i)*7919)
+			// The seed is derived from the flattened global index, never
+			// from an engine, so a client's RNG stream is identical
+			// whether its region runs sharded or sequential.
+			cl := newClient(regionEngine(r, eng), prof, h.Name, h, c.reg, regions[ri].Server.Name, ri, c.pools[ri], opt.Seed+int64(i)*7919)
 			c.Clients = append(c.Clients, cl)
 			i++
 		}
 	}
 	c.applyLayout(opt.Mode)
 	return c
+}
+
+// regionEngine picks the engine one region's machinery schedules on.
+func regionEngine(r CascadePlacement, callEng *sim.Engine) *sim.Engine {
+	if r.Eng != nil {
+		return r.Eng
+	}
+	return callEng
+}
+
+// PayloadTransfer returns the boundary-link payload re-homing hook for
+// packets delivered into dstRegion (netem.Link.SetHandoffPayload). Media
+// packets are cloned into the destination region's pool and the source
+// copy released; signalling messages (feedback, FIR, alloc) are immutable
+// after construction and pass through by pointer. It runs at window
+// barriers with both shards parked, so touching both pools is safe.
+func (c *Call) PayloadTransfer(dstRegion int) func(any) any {
+	pool := c.pools[dstRegion]
+	return func(p any) any {
+		if mp, ok := p.(*MediaPacket); ok {
+			dup := pool.copyOf(mp)
+			releaseMedia(mp)
+			return dup
+		}
+		return p
+	}
 }
 
 // active returns the clients currently in the call, in join order.

@@ -29,6 +29,24 @@ func (c *Call) SetTracer(t *obs.Tracer) {
 	}
 }
 
+// SetRegionTracer attaches a tracer to one region's clients and SFU only
+// — the sharded-run form, where each shard records into its own tracer
+// and the per-shard rings are merged deterministically afterwards
+// (obs.Merge). Churn events stay on the call-level tracer (SetChurnTracer),
+// since churn executes on the control engine.
+func (c *Call) SetRegionTracer(region int, t *obs.Tracer) {
+	for _, cl := range c.Clients {
+		if cl.region == region {
+			cl.tracer = t
+		}
+	}
+	c.Servers[region].tracer = t
+}
+
+// SetChurnTracer attaches only the call-level churn tracer, leaving
+// client and server tracers untouched.
+func (c *Call) SetChurnTracer(t *obs.Tracer) { c.tracer = t }
+
 // ccReason derives the reason code recorded with a CC trace event from
 // the feedback that triggered the change. The thresholds match the
 // loss/delay sensitivities of the paper's VCAs closely enough to label
