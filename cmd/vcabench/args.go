@@ -25,9 +25,24 @@ type obsFlags struct {
 // negative -parallel was silently coerced to "all cores" and a bad
 // -scenario surfaced only after other sweeps had already burned minutes;
 // likewise an unwritable -trace path must fail here, not after the sweep.
-func validateFlags(exp, bench, scenarioName string, parallel, reps, fuzz, shards int, obs obsFlags) error {
+func validateFlags(exp, bench, scenarioName, recovery string, parallel, reps, fuzz, shards int, obs obsFlags) error {
 	if parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 = all cores, 1 = sequential); got %d", parallel)
+	}
+	switch recovery {
+	case "on", "off":
+	default:
+		return fmt.Errorf("-recovery must be on or off; got %q", recovery)
+	}
+	if recovery == "on" && fuzz == 0 && bench == "" {
+		// The paper-reproduction figures run the VCAs as measured — no
+		// recovery knob — so silently ignoring the flag there would
+		// misrepresent what ran. Only the extension workloads take it.
+		switch exp {
+		case "impairment", "scale", "dynamic":
+		default:
+			return fmt.Errorf("-recovery on applies to -experiment impairment/scale/dynamic, -fuzz and -bench; got -experiment %s", exp)
+		}
 	}
 	if shards < 0 {
 		return fmt.Errorf("-shards must be >= 0 (<= 1 = one engine per trial; capped at the region count); got %d", shards)

@@ -48,6 +48,7 @@ var (
 	fuzzN    = flag.Int("fuzz", 0, "replay N seeded generated scenarios through the invariant harness (seeds -seed..-seed+N-1); exits non-zero and prints the offending seed on any violation")
 	bench    = flag.String("bench", "", "benchmark mode: `scale` (sweep at 1 and NumCPU workers, BENCH_scale.json) or `engine` (events/sec + allocs/event, BENCH_engine.json)")
 	jsonOut  = flag.Bool("json", false, "with -bench: write machine-readable results to BENCH_<mode>.json")
+	recovery = flag.String("recovery", "off", "packet-level loss recovery (NACK/RTX, jitter buffer, TWCC feedback): `on|off`; applies to -experiment impairment/scale/dynamic, -fuzz and -bench")
 	check    = flag.Bool("check", false, "with -bench engine: exit non-zero if allocs/event exceeds 0.1 or events/s regresses >20% vs the recorded baseline (the CI bench-regression gate)")
 
 	traceFile   = flag.String("trace", "", "with -experiment dynamic: write a structured JSONL event trace (packet enqueue/dequeue/drop/deliver, CC decisions, forward switches, scenario and churn events) to `FILE`")
@@ -96,7 +97,7 @@ func main() {
 		"experiment id (see -list): table2, fig1a..fig15, impairment, scale, dynamic, all")
 	flag.Parse()
 
-	if err := validateFlags(*exp, *bench, *scen, *parallel, *reps, *fuzzN, *shards, obsFlags{
+	if err := validateFlags(*exp, *bench, *scen, *recovery, *parallel, *reps, *fuzzN, *shards, obsFlags{
 		trace: *traceFile, metrics: *metricsFile, interval: *obsInterval,
 		cpuprofile: *cpuprofile, memprofile: *memprofile,
 	}); err != nil {
@@ -349,12 +350,19 @@ func fig14() {
 	vcalab.PrintCompetition(os.Stdout, y)
 }
 
+// recoveryOn reports the -recovery toggle as the bool the experiment
+// configs take; validateFlags already vetted the value.
+func recoveryOn() bool { return *recovery == "on" }
+
 // impairment is the §8 future-work extension: random loss and jitter.
+// With -recovery on the same sweep runs with NACK/RTX, jitter buffers
+// and TWCC enabled — the loss-recovery evaluation of EXPERIMENTS.md.
 func impairment() {
 	for _, p := range threeVCAs() {
 		rs := vcalab.RunImpairment(vcalab.ImpairmentConfig{
 			Profile: p, LossPcts: []float64{0, 0.5, 1, 2, 5},
 			Jitter: 20 * time.Millisecond, Reps: *reps, Seed: *seed,
+			Recovery: recoveryOn(),
 		})
 		vcalab.PrintImpairment(os.Stdout, rs)
 	}
@@ -384,6 +392,7 @@ func scaleConfig(p *vcalab.Profile, par int) vcalab.ScaleConfig {
 		Seed:         *seed,
 		Parallel:     par,
 		Shards:       *shards,
+		Recovery:     recoveryOn(),
 	}
 	if *quick {
 		cfg.Participants = []int{8, 16}
@@ -414,13 +423,14 @@ func runFuzz() {
 		Seed:     *seed,
 		Parallel: *parallel,
 		Shards:   *shards,
+		Recovery: recoveryOn(),
 	}
 	if *quick {
 		cfg.Participants = 6
 		cfg.Dur = 30 * time.Second
 	}
 	r := vcalab.RunFuzz(cfg)
-	vcalab.PrintFuzz(os.Stdout, r)
+	vcalab.PrintFuzz(os.Stdout, r, cfg.Recovery)
 	if len(r.Failures) > 0 {
 		os.Exit(1)
 	}
@@ -440,6 +450,7 @@ func dynamicConfig(p *vcalab.Profile, scenarioName string) vcalab.DynamicConfig 
 		Seed:         *seed,
 		Parallel:     *parallel,
 		Shards:       *shards,
+		Recovery:     recoveryOn(),
 	}
 	if *quick {
 		cfg.Participants = 8
@@ -632,7 +643,7 @@ var engineBaseline = vcalab.EngineBenchResult{
 // allocs/event and sim-seconds per wall-second on a cascaded call — and
 // records the result next to the pre-refactor baseline.
 func benchEngine() {
-	cfg := vcalab.EngineBenchConfig{Profile: vcalab.Teams(), Seed: *seed, Shards: *shards}
+	cfg := vcalab.EngineBenchConfig{Profile: vcalab.Teams(), Seed: *seed, Shards: *shards, Recovery: recoveryOn()}
 	if *quick {
 		cfg.Participants = 8
 		cfg.Dur = 10 * time.Second
@@ -653,6 +664,10 @@ func benchEngine() {
 			fmt.Printf("  shard %d: %9.0f events/s busy  %5.1f%% barrier wait\n",
 				k, sh.ShardEventsPerSecond[k], 100*sh.ShardBarrierWaitFrac[k])
 		}
+	}
+	if rb := cur.Recovery; rb != nil {
+		fmt.Printf("recovery on:  %9d events  %6.2fs wall  %9.0f events/s  %5.2f allocs/event  (%.0f%% loss: %d NACKed seqs, %d RTX)\n",
+			rb.Events, rb.WallSeconds, rb.EventsPerSecond, rb.AllocsPerEvent, rb.LossPct, rb.NackedSeqs, rb.Retransmissions)
 	}
 	if engineBaseline.EventsPerSecond > 0 {
 		fmt.Printf("vs baseline:  %.2fx events/s  %.2fx allocs/event  %.2fx sim-s/wall-s  %.2fx routing events/s\n",

@@ -1,0 +1,94 @@
+package cc
+
+import (
+	"time"
+
+	"vcalab/internal/rtp"
+)
+
+// TWCCFilter translates transport-wide CC reports (per-packet arrival
+// times from the receiver, joined with the sender's own send-time
+// history) into the Feedback records the controllers consume — an
+// alternative delay/loss input to the receiver-side aggregate reports.
+//
+// Per packet, one-way delay is arrival minus send time. The filter
+// tracks the minimum observed delay as the path base (drifting upward
+// slowly so route changes eventually re-base) and reports the mean
+// excess over that base as queueing delay, plus the report's loss
+// fraction and receive rate.
+type TWCCFilter struct {
+	baseUs  int64
+	started bool
+}
+
+// baseDriftShift controls how fast the base delay chases a rising
+// minimum: base += (min-base)/2^baseDriftShift per report.
+const baseDriftShift = 4
+
+// Process folds one TransportCC report into the filter. lookup resolves
+// a transport-wide seq to its send time and wire size (the sender's
+// SentHistory); packets whose send record was evicted are skipped. It
+// returns ok=false when the report contains no resolvable arrivals.
+func (f *TWCCFilter) Process(now, rttHint time.Duration, rep *rtp.TransportCC,
+	lookup func(seq uint16) (atUs int64, size int, ok bool)) (Feedback, bool) {
+
+	var (
+		arrived, lost int
+		bytes         int
+		sumOwdUs      int64
+		minOwdUs      int64 = -1
+		firstUs       int64 = -1
+		lastUs        int64 = -1
+	)
+	for i, d := range rep.DeltaUs {
+		if d == rtp.DeltaLost {
+			lost++
+			continue
+		}
+		seq := rep.BaseSeq + uint16(i)
+		sentUs, size, ok := lookup(seq)
+		if !ok {
+			continue
+		}
+		arrUs := rep.RefTimeUs + int64(d)
+		owd := arrUs - sentUs
+		arrived++
+		bytes += size
+		sumOwdUs += owd
+		if minOwdUs < 0 || owd < minOwdUs {
+			minOwdUs = owd
+		}
+		if firstUs < 0 || arrUs < firstUs {
+			firstUs = arrUs
+		}
+		if arrUs > lastUs {
+			lastUs = arrUs
+		}
+	}
+	if arrived == 0 {
+		return Feedback{}, false
+	}
+	if !f.started || minOwdUs < f.baseUs {
+		f.baseUs = minOwdUs
+		f.started = true
+	} else {
+		f.baseUs += (minOwdUs - f.baseUs) >> baseDriftShift
+	}
+	queueUs := sumOwdUs/int64(arrived) - f.baseUs
+	if queueUs < 0 {
+		queueUs = 0
+	}
+	interval := time.Duration(lastUs-firstUs) * time.Microsecond
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	fb := Feedback{
+		Now:          now,
+		Interval:     interval,
+		RTT:          rttHint,
+		QueueDelay:   time.Duration(queueUs) * time.Microsecond,
+		LossFraction: float64(lost) / float64(len(rep.DeltaUs)),
+	}
+	fb.ReceiveRateBps = float64(bytes) * 8 / interval.Seconds()
+	return fb, true
+}

@@ -1,0 +1,81 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"vcalab/internal/rtp"
+)
+
+// lookupFrom builds a resolver over a send-time table keyed by seq.
+func lookupFrom(sent map[uint16][2]int64) func(uint16) (int64, int, bool) {
+	return func(seq uint16) (int64, int, bool) {
+		v, ok := sent[seq]
+		return v[0], int(v[1]), ok
+	}
+}
+
+func TestTWCCFilterDelayLossRate(t *testing.T) {
+	// Three packets sent 20ms apart; all delayed 30ms except the second,
+	// which queued an extra 10ms. The fourth is lost.
+	sent := map[uint16][2]int64{
+		100: {0, 1200},
+		101: {20_000, 1200},
+		102: {40_000, 1200},
+	}
+	rep := &rtp.TransportCC{
+		BaseSeq:   100,
+		RefTimeUs: 30_000,
+		DeltaUs:   []int32{0, 30_000, 40_000, rtp.DeltaLost},
+	}
+	var f TWCCFilter
+	fb, ok := f.Process(time.Second, 40*time.Millisecond, rep, lookupFrom(sent))
+	if !ok {
+		t.Fatal("Process should produce feedback")
+	}
+	if fb.LossFraction != 0.25 {
+		t.Fatalf("LossFraction = %v, want 0.25", fb.LossFraction)
+	}
+	// owds: 30ms, 40ms, 30ms → base 30ms, mean excess 10/3 ms.
+	wantQ := time.Duration(10_000/3) * time.Microsecond
+	if d := fb.QueueDelay - wantQ; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("QueueDelay = %v, want ~%v", fb.QueueDelay, wantQ)
+	}
+	if fb.RTT != 40*time.Millisecond {
+		t.Fatalf("RTT = %v", fb.RTT)
+	}
+	// 3×1200 bytes over the 40ms arrival span.
+	wantRate := float64(3*1200*8) / 0.040
+	if fb.ReceiveRateBps < wantRate*0.99 || fb.ReceiveRateBps > wantRate*1.01 {
+		t.Fatalf("ReceiveRateBps = %v, want ~%v", fb.ReceiveRateBps, wantRate)
+	}
+}
+
+func TestTWCCFilterSkipsEvictedAndEmpty(t *testing.T) {
+	var f TWCCFilter
+	rep := &rtp.TransportCC{BaseSeq: 0, RefTimeUs: 0, DeltaUs: []int32{0, 100}}
+	if _, ok := f.Process(0, 0, rep, func(uint16) (int64, int, bool) { return 0, 0, false }); ok {
+		t.Fatal("report with no resolvable sends must not produce feedback")
+	}
+	all := &rtp.TransportCC{DeltaUs: []int32{rtp.DeltaLost, rtp.DeltaLost}}
+	if _, ok := f.Process(0, 0, all, lookupFrom(nil)); ok {
+		t.Fatal("all-lost report must not produce feedback")
+	}
+}
+
+func TestTWCCFilterBaseTracksMinimum(t *testing.T) {
+	sent := map[uint16][2]int64{0: {0, 100}, 1: {0, 100}}
+	var f TWCCFilter
+	// First report: owd 50ms → base 50ms, queue 0.
+	rep := &rtp.TransportCC{BaseSeq: 0, RefTimeUs: 50_000, DeltaUs: []int32{0}}
+	fb, _ := f.Process(0, 0, rep, lookupFrom(sent))
+	if fb.QueueDelay != 0 {
+		t.Fatalf("first QueueDelay = %v, want 0", fb.QueueDelay)
+	}
+	// Second report: owd 80ms against base 50ms → ~30ms of queue.
+	rep2 := &rtp.TransportCC{BaseSeq: 1, RefTimeUs: 80_000, DeltaUs: []int32{0}}
+	fb, _ = f.Process(0, 0, rep2, lookupFrom(sent))
+	if fb.QueueDelay < 25*time.Millisecond || fb.QueueDelay > 30*time.Millisecond {
+		t.Fatalf("second QueueDelay = %v, want ~28ms (30ms minus base drift)", fb.QueueDelay)
+	}
+}

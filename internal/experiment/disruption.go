@@ -83,7 +83,7 @@ type disruptionTrial struct {
 func (cfg *DisruptionConfig) runTrial(rep int) disruptionTrial {
 	seed := cfg.Seed + int64(rep)*31337
 	eng := sim.New(seed)
-	call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, seed)
+	call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, vca.CallOptions{Seed: seed})
 	call.Start()
 	eng.Schedule(cfg.DropAt, func() {
 		if cfg.Dir == Uplink {

@@ -49,6 +49,10 @@ type DynamicConfig struct {
 	// are deterministic per shard count but not identical across counts
 	// (see DESIGN.md §12). Compounds with Parallel.
 	Shards int
+	// Recovery enables packet-level loss recovery (NACK/RTX, jitter
+	// buffer, TWCC feedback) on every call; see DESIGN.md §13. Output
+	// stays byte-identical at any Parallel × Shards for either value.
+	Recovery bool
 
 	// Obs enables per-trial observability capture (observe.go); nil
 	// leaves the hot path untouched. TraceW/MetricsW receive every
@@ -163,11 +167,11 @@ func (cfg *DynamicConfig) runTrial(rep int) dynamicTrial {
 		sm = cascade.BuildSharded(seed, topo, plan)
 		defer sm.Group.Close()
 		mesh, eng = sm.Mesh, sm.Eng
-		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: seed, Recovery: cfg.Recovery})
 	} else {
 		eng = sim.New(seed)
 		mesh = cascade.Build(eng, topo)
-		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed, Recovery: cfg.Recovery})
 	}
 	tl := scenario.New(eng, call, scenario.MeshLinks(mesh), cfg.Scenario)
 	to := instrumentTrial(cfg.Obs, sm, eng, mesh, call, tl)

@@ -105,6 +105,53 @@ func TestDynamicObservedOutputUnchanged(t *testing.T) {
 	}
 }
 
+// TestDynamicRegionPartitionLossRecovery is the loss-recovery acceptance
+// gate at the experiment level: the region-partition scenario composed
+// with sustained 3% random loss on C1's access downlink (a WAN blackout
+// riding on a lossy last mile). NACK/RTX must strictly reduce the mean
+// freeze ratio versus the same seeds with recovery off, and the
+// recovery-enabled run must stay byte-identical across both parallelism
+// axes (-parallel 1 vs 4, -shards 1 vs 2).
+func TestDynamicRegionPartitionLossRecovery(t *testing.T) {
+	partitionLossy := func() scenario.Scenario {
+		sc := scenario.RegionPartitionAndHeal(0, 1)
+		lossy := scenario.ShapeLink(time.Second,
+			scenario.LinkRef{Kind: scenario.LinkClientDown, Client: "c1"},
+			scenario.Shape{SetImpair: true, LossProb: 0.03})
+		lossy.Label = "last-mile-loss"
+		sc.Events = append([]scenario.Event{lossy}, sc.Events...)
+		return sc
+	}
+	run := func(par, shards int, recovery bool) (DynamicResult, string) {
+		cfg := dynTestConfig(vca.Meet())
+		cfg.Scenario = partitionLossy()
+		cfg.Parallel = par
+		cfg.Shards = shards
+		cfg.Recovery = recovery
+		r := RunDynamic(cfg)
+		var buf strings.Builder
+		PrintDynamic(&buf, r)
+		return r, buf.String()
+	}
+
+	off, _ := run(1, 1, false)
+	on, onSeq := run(1, 1, true)
+	if on.FreezeRatio.Mean >= off.FreezeRatio.Mean {
+		t.Errorf("recovery-on freeze %v, want strictly below recovery-off %v",
+			on.FreezeRatio.Mean, off.FreezeRatio.Mean)
+	}
+	if on.DownMbps.Mean <= 0 {
+		t.Errorf("recovery-on call carried no traffic: down %v", on.DownMbps.Mean)
+	}
+
+	if _, onPar := run(4, 1, true); onSeq != onPar {
+		t.Errorf("recovery-on output differs across parallelism:\n-- parallel 1 --\n%s-- parallel 4 --\n%s", onSeq, onPar)
+	}
+	if _, onSharded := run(1, 2, true); onSeq != onSharded {
+		t.Errorf("recovery-on output differs across shards:\n-- shards 1 --\n%s-- shards 2 --\n%s", onSeq, onSharded)
+	}
+}
+
 // TestDynamicReportsRecovery checks the recovery machinery end to end on
 // the capacity-cliff scenario: the cliff depresses C1's download, and the
 // restore event recovers within the run in at least one repetition.

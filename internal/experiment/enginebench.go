@@ -41,6 +41,11 @@ type EngineBenchConfig struct {
 	// ShardParticipants sizes the sharded macro call (default 48,
 	// spread over Regions: the scale workload the shards exist for).
 	ShardParticipants int
+	// Recovery adds the loss-recovery macro section: the same cascaded
+	// call re-run with packet-level recovery enabled and 1% random loss
+	// on every link, so the NACK/RTX/TWCC path is hot in the profile.
+	// Off by default — the headline macro numbers stay recovery-free.
+	Recovery bool
 }
 
 func (c *EngineBenchConfig) defaults() {
@@ -100,6 +105,27 @@ type EngineBenchResult struct {
 	// bench ran with Shards > 1): the ShardParticipants-party cascaded
 	// call on one engine vs region-sharded, with per-shard accounting.
 	Sharded *ShardedBenchResult `json:"sharded,omitempty"`
+
+	// Recovery reports the loss-recovery macro section (nil unless the
+	// bench ran with Recovery): the macro call with NACK/RTX, jitter
+	// buffers and TWCC enabled under 1% per-link random loss. Its alloc
+	// figure is informational — the 0.1 allocs/event -check budget gates
+	// the recovery-off macro above, since RTX clone copies are pooled
+	// but NACK/TWCC control traffic is not on the zero-alloc path.
+	Recovery *RecoveryBenchResult `json:"recovery,omitempty"`
+}
+
+// RecoveryBenchResult is the recovery-enabled macro workload: the event
+// throughput cost of the loss-recovery machinery, plus the NACK/RTX
+// counters that prove the path was actually exercised.
+type RecoveryBenchResult struct {
+	LossPct         float64 `json:"loss_pct"`
+	Events          uint64  `json:"events"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSecond float64 `json:"events_per_second"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
+	NackedSeqs      uint64  `json:"nacked_seqs"`
+	Retransmissions uint64  `json:"retransmissions"`
 }
 
 // ShardedBenchResult compares one cascaded-call workload executed
@@ -246,7 +272,43 @@ func RunEngineBench(cfg EngineBenchConfig) EngineBenchResult {
 	if cfg.Shards > 1 {
 		res.Sharded = runShardedBench(cfg)
 	}
+	if cfg.Recovery {
+		res.Recovery = runRecoveryBench(cfg)
+	}
 	return res
+}
+
+// runRecoveryBench times the macro cascaded call with loss recovery
+// enabled and 1% random loss on every link of the topology, so the
+// jitter-buffer, NACK and retransmission paths dominate alongside the
+// regular packet path.
+func runRecoveryBench(cfg EngineBenchConfig) *RecoveryBenchResult {
+	const lossPct = 1.0
+	eng := sim.New(cfg.Seed)
+	mesh := cascade.Build(eng, benchTopology(&cfg, cfg.Participants))
+	call := mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed, Recovery: true})
+	for _, l := range mesh.Links() {
+		l.SetImpairment(lossPct/100, 0)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	call.Start()
+	eng.RunUntil(cfg.Dur)
+	call.Stop()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	rb := &RecoveryBenchResult{LossPct: lossPct, Events: eng.Processed(), WallSeconds: wall.Seconds()}
+	if wall > 0 {
+		rb.EventsPerSecond = float64(rb.Events) / wall.Seconds()
+	}
+	if rb.Events > 0 {
+		rb.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(rb.Events)
+	}
+	rb.NackedSeqs, rb.Retransmissions = call.NackRTXTotals()
+	return rb
 }
 
 // benchTopology builds the n-participant cascade the bench workloads

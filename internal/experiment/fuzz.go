@@ -33,6 +33,9 @@ type FuzzConfig struct {
 	// Shards runs every replay region-sharded (<= 1 keeps the
 	// sequential engine); the harness asserts its invariants per shard.
 	Shards int
+	// Recovery enables packet-level loss recovery on every replayed
+	// call, adding the RTX-clone and NACK-queue conservation invariants.
+	Recovery bool
 }
 
 func (c *FuzzConfig) defaults() {
@@ -96,6 +99,7 @@ func RunFuzz(cfg FuzzConfig) FuzzResult {
 			Dur:          cfg.Dur,
 			Seed:         seed,
 			Shards:       cfg.Shards,
+			Recovery:     cfg.Recovery,
 		})
 		t := fuzzTrial{events: len(sc.Events)}
 		if len(violations) > 0 {
@@ -118,19 +122,28 @@ func RunFuzz(cfg FuzzConfig) FuzzResult {
 }
 
 // PrintFuzz writes a fuzz run's verdict; each failure carries the exact
-// flags that reproduce it locally.
-func PrintFuzz(w io.Writer, r FuzzResult) {
+// flags that reproduce it locally. recovery mirrors the run's recovery
+// toggle so the reproduce line replays the same configuration.
+func PrintFuzz(w io.Writer, r FuzzResult, recovery bool) {
 	fmt.Fprintf(w, "# scenario fuzz: %d generated scenarios, %d events replayed\n", r.N, r.Events)
 	if len(r.Failures) == 0 {
-		fmt.Fprintf(w, "all invariants held (event pool, ID aliasing, freeze accounting, packet pool, drop conservation)\n")
+		if recovery {
+			fmt.Fprintf(w, "all invariants held (event pool, ID aliasing, freeze accounting, packet pool, drop conservation, RTX/NACK conservation)\n")
+		} else {
+			fmt.Fprintf(w, "all invariants held (event pool, ID aliasing, freeze accounting, packet pool, drop conservation)\n")
+		}
 		return
+	}
+	repro := ""
+	if recovery {
+		repro = " -recovery on"
 	}
 	for _, f := range r.Failures {
 		fmt.Fprintf(w, "FAIL seed %d (%s, %s, %d events):\n", f.Seed, f.Profile, f.Scenario, f.Events)
 		for _, v := range f.Violations {
 			fmt.Fprintf(w, "  %s\n", v)
 		}
-		fmt.Fprintf(w, "  reproduce: vcabench -fuzz 1 -seed %d\n", f.Seed)
+		fmt.Fprintf(w, "  reproduce: vcabench -fuzz 1 -seed %d%s\n", f.Seed, repro)
 	}
 	fmt.Fprintf(w, "%d/%d seeds violated invariants\n", len(r.Failures), r.N)
 }

@@ -41,6 +41,27 @@ func TestRunFuzzSmoke(t *testing.T) {
 	}
 }
 
+// TestRunFuzzRecoverySmoke replays the same seed band with packet-level
+// loss recovery enabled, adding the RTX-clone and NACK-queue conservation
+// invariants to every replay — churn storms and partitions must never
+// leak a retransmission clone or strand a NACK queue.
+func TestRunFuzzRecoverySmoke(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 8
+	}
+	cfg := fuzzTestConfig(n)
+	cfg.Recovery = true
+	r := RunFuzz(cfg)
+	if r.N != n || r.Events == 0 {
+		t.Fatalf("ran %d seeds / %d events, want %d seeds and a non-empty replay", r.N, r.Events, n)
+	}
+	for _, f := range r.Failures {
+		t.Errorf("seed %d (%s, %s): %v — reproduce: vcabench -fuzz 1 -seed %d -recovery on",
+			f.Seed, f.Profile, f.Scenario, f.Violations, f.Seed)
+	}
+}
+
 // TestRunFuzzDeterministicAcrossParallelism: the fuzz verdict — and its
 // printed form — is byte-identical at any worker count, so a CI failure
 // always reproduces locally whatever the runner's core count.
@@ -49,7 +70,7 @@ func TestRunFuzzDeterministicAcrossParallelism(t *testing.T) {
 		cfg := fuzzTestConfig(12)
 		cfg.Parallel = par
 		var buf strings.Builder
-		PrintFuzz(&buf, RunFuzz(cfg))
+		PrintFuzz(&buf, RunFuzz(cfg), cfg.Recovery)
 		return buf.String()
 	}
 	seq, par := out(1), out(4)

@@ -27,6 +27,10 @@ type ImpairmentConfig struct {
 	// Parallel is the trial parallelism; 0 = package default, 1 =
 	// sequential. Output is identical for every value.
 	Parallel int
+	// Recovery enables packet-level loss recovery (NACK/RTX, jitter
+	// buffer, TWCC feedback) on every call — the knob the loss sweep
+	// exists to evaluate; see DESIGN.md §13 and EXPERIMENTS.md.
+	Recovery bool
 }
 
 func (c *ImpairmentConfig) defaults() {
@@ -65,7 +69,7 @@ type impairmentTrial struct {
 func (cfg *ImpairmentConfig) runTrial(lossPct float64, rep int) impairmentTrial {
 	seed := cfg.Seed + int64(rep)*17389 + int64(lossPct*100)
 	eng := sim.New(seed)
-	call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, seed)
+	call, lab := twoPartyCall(eng, cfg.Profile, 0, 0, vca.CallOptions{Seed: seed, Recovery: cfg.Recovery})
 	lab.Uplink().SetImpairment(lossPct/100, cfg.Jitter)
 	lab.Downlink().SetImpairment(lossPct/100, cfg.Jitter)
 	call.Start()

@@ -40,6 +40,9 @@ type ScaleConfig struct {
 	// every value: the sharded engine reproduces the sequential event
 	// order exactly. Compounds with Parallel.
 	Shards int
+	// Recovery enables packet-level loss recovery (NACK/RTX, jitter
+	// buffer, TWCC feedback) on every call; see DESIGN.md §13.
+	Recovery bool
 }
 
 func (c *ScaleConfig) defaults() {
@@ -118,11 +121,11 @@ func (cfg *ScaleConfig) runTrial(n int, interMbps float64, rep int) scaleTrial {
 		sm = cascade.BuildSharded(seed, topo, plan)
 		defer sm.Group.Close()
 		mesh, eng = sm.Mesh, sm.Eng
-		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: seed, Recovery: cfg.Recovery})
 	} else {
 		eng = sim.New(seed)
 		mesh = cascade.Build(eng, topo)
-		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed})
+		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: seed, Recovery: cfg.Recovery})
 	}
 
 	// Snapshot inter-link counters at warmup so utilization covers the

@@ -78,13 +78,15 @@ type StaticResult struct {
 	FIRCount stats.Summary
 }
 
-// twoPartyCall builds the standard §2.2 topology on a fresh lab.
-func twoPartyCall(eng *sim.Engine, prof *vca.Profile, upBps, downBps float64, seed int64) (*vca.Call, *Lab) {
+// twoPartyCall builds the standard §2.2 topology on a fresh lab. The
+// options carry the trial seed plus any per-experiment toggles (loss
+// recovery for the impairment sweep).
+func twoPartyCall(eng *sim.Engine, prof *vca.Profile, upBps, downBps float64, opt vca.CallOptions) (*vca.Call, *Lab) {
 	lab := NewLab(eng, upBps, downBps)
 	c1 := lab.ClientHost("c1")
 	c2 := lab.RemoteHost("c2", RemoteDelay)
 	sfu := lab.RemoteHost("sfu", SFUDelay)
-	call := vca.NewCall(eng, prof, sfu, []*netem.Host{c1, c2}, vca.CallOptions{Seed: seed})
+	call := vca.NewCall(eng, prof, sfu, []*netem.Host{c1, c2}, opt)
 	return call, lab
 }
 
@@ -107,7 +109,7 @@ func (cfg *StaticConfig) runTrial(capMbps float64, rep int) staticTrial {
 			downBps = capMbps * 1e6
 		}
 	}
-	call, _ := twoPartyCall(eng, cfg.Profile, upBps, downBps, seed)
+	call, _ := twoPartyCall(eng, cfg.Profile, upBps, downBps, vca.CallOptions{Seed: seed})
 	call.Start()
 	eng.RunUntil(cfg.Dur)
 	call.Stop()

@@ -67,7 +67,7 @@ func RunTraces(profs []*vca.Profile, trace BandwidthTrace, dur time.Duration, se
 // runTraceTrial is the pure single-trial body.
 func runTraceTrial(prof *vca.Profile, trace BandwidthTrace, dur time.Duration, seed int64) TraceResult {
 	eng := sim.New(seed)
-	call, lab := twoPartyCall(eng, prof, 0, 0, seed)
+	call, lab := twoPartyCall(eng, prof, 0, 0, vca.CallOptions{Seed: seed})
 	trace.Apply(eng, lab)
 	call.Start()
 	eng.RunUntil(dur)

@@ -44,12 +44,29 @@ const (
 	EvScenario
 	// EvChurn: a participant left, rejoined, or the call switched mode.
 	EvChurn
+	// EvNackSent: a receiver NACKed one missing seq (counted per seq per
+	// retry, so Count(EvNackSent) >= Count(EvRTXDeliver) always holds).
+	EvNackSent
+	// EvNackAnswer: the SFU answered a NACKed seq from its RTX buffer.
+	EvNackAnswer
+	// EvNackGiveUp: the receiver stopped NACKing a seq (retries
+	// exhausted); the seq is conceded lost.
+	EvNackGiveUp
+	// EvRTXDeliver: a retransmitted packet reached the receiver in time.
+	EvRTXDeliver
+	// EvJBLate: a packet arrived after its seq was already conceded or
+	// delivered; the jitter buffer dropped it.
+	EvJBLate
+	// EvJBConcede: the jitter buffer gave up waiting for one or more seqs
+	// (playout deadline passed or NACK gave up); Size carries the count.
+	EvJBConcede
 
 	evKinds
 )
 
 var kindNames = [evKinds]string{
 	"enqueue", "dequeue", "drop", "deliver", "cc", "switch", "scenario", "churn",
+	"nack-sent", "nack-answer", "nack-giveup", "rtx-deliver", "jb-late", "jb-concede",
 }
 
 // String returns the JSONL spelling of the kind ("drop", "cc", ...).
@@ -207,6 +224,20 @@ func (t *Tracer) Scenario(now time.Duration, label, op, client string) {
 	*t.slot(EvScenario) = Event{
 		T: now, Kind: EvScenario,
 		Label: label, Reason: op, Client: client,
+	}
+}
+
+// Recovery records a loss-recovery event: kind is one of EvNackSent,
+// EvNackAnswer, EvNackGiveUp, EvRTXDeliver, EvJBLate, EvJBConcede;
+// client is the receiver, origin the media source, n the seq (or, for
+// EvJBConcede, the number of seqs conceded at once).
+func (t *Tracer) Recovery(kind EventKind, now time.Duration, client, origin string, n int) {
+	if t == nil {
+		return
+	}
+	*t.slot(kind) = Event{
+		T: now, Kind: kind,
+		Client: client, Origin: origin, Size: n,
 	}
 }
 

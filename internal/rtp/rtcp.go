@@ -349,6 +349,13 @@ func UnmarshalRTCP(buf []byte) (RTCPPacket, int, error) {
 		}
 		return nil, 0, fmt.Errorf("rtp: unsupported PSFB FMT %d", count)
 	case TypeRTPFB:
+		if count == FMTTWCC {
+			t := &TransportCC{}
+			if err := t.unmarshalBody(body); err != nil {
+				return nil, 0, err
+			}
+			return t, length, nil
+		}
 		if count != FMTNack {
 			return nil, 0, fmt.Errorf("rtp: unsupported RTPFB FMT %d", count)
 		}

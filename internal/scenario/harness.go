@@ -55,6 +55,11 @@ type HarnessConfig struct {
 	// topology with no positive cross-shard delay floor falls back to
 	// sequential). Every invariant below is asserted per shard.
 	Shards int
+	// Recovery enables packet-level loss recovery on the replayed call,
+	// adding its conservation invariants: every RTX clone released, NACK
+	// queues empty after the drain, and no more retransmissions traced
+	// as delivered than NACKs were sent.
+	Recovery bool
 }
 
 func (c *HarnessConfig) defaults() {
@@ -121,11 +126,11 @@ func Replay(sc Scenario, cfg HarnessConfig) []Violation {
 		sm = cascade.BuildSharded(cfg.Seed, topo, plan)
 		defer sm.Group.Close()
 		mesh, eng = sm.Mesh, sm.Eng
-		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+		call = sm.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed, Recovery: cfg.Recovery})
 	} else {
 		eng = sim.New(cfg.Seed)
 		mesh = cascade.Build(eng, topo)
-		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed})
+		call = mesh.NewCall(cfg.Profile, vca.CallOptions{Seed: cfg.Seed, Recovery: cfg.Recovery})
 	}
 	tl := New(eng, call, MeshLinks(mesh), sc)
 	// Replay always runs traced: it both exercises the instrumented paths
@@ -225,6 +230,43 @@ func Replay(sc Scenario, cfg HarnessConfig) []Violation {
 				out = violationf(out, "freeze-accounting",
 					"client %d receiver %s negative freeze count", i, origin)
 			}
+		}
+	}
+
+	// Loss-recovery conservation (recovery-enabled replays only; with
+	// recovery off every quantity below is structurally zero).
+	if cfg.Recovery {
+		// Client stop flushed every jitter buffer, so no NACK may still
+		// be pending anywhere.
+		if n := call.PendingNacks(); n != 0 {
+			out = violationf(out, "nack-queue", "%d NACKs pending after Stop", n)
+		}
+		// The SFUs never answer more retransmissions than seqs were
+		// NACKed at them...
+		nacks, rtx := call.NackRTXTotals()
+		if rtx > nacks {
+			out = violationf(out, "rtx-conservation",
+				"SFUs answered %d retransmissions for %d NACKed seqs", rtx, nacks)
+		}
+		// ...and no client can see more RTX deliveries than NACKs it
+		// sent (EvNackSent fires per seq per retry, EvRTXDeliver per
+		// retransmission that healed a gap). Counts are cumulative
+		// across ring wraparound, so this holds on loss-heavy replays.
+		var nackEv, rtxEv uint64
+		for _, tr := range tracers {
+			nackEv += tr.Count(obs.EvNackSent)
+			rtxEv += tr.Count(obs.EvRTXDeliver)
+		}
+		if rtxEv > nackEv {
+			out = violationf(out, "rtx-conservation",
+				"traced %d RTX deliveries for %d NACKs sent", rtxEv, nackEv)
+		}
+		// Clone conservation: draining the RTX buffers returns every
+		// payload clone the SFUs ever made to its pool.
+		call.DrainRecovery()
+		if n := call.RTXClonesLive(); n != 0 {
+			out = violationf(out, "rtx-conservation",
+				"%d RTX payload clones live after DrainRecovery", n)
 		}
 	}
 

@@ -25,6 +25,11 @@ const (
 type CallOptions struct {
 	Mode ViewMode
 	Seed int64
+	// Recovery enables packet-level loss recovery (DESIGN.md §13):
+	// receiver jitter buffers with NACK/RTX and, for profiles with
+	// server-side congestion control, TWCC-style per-packet feedback.
+	// Off, the packet path is byte-identical to a build without it.
+	Recovery bool
 }
 
 // CascadePlacement homes a group of clients on one SFU host — one region
@@ -155,6 +160,16 @@ func NewCascadedCall(eng *sim.Engine, prof *Profile, regions []CascadePlacement,
 			i++
 		}
 	}
+	if opt.Recovery {
+		rcfg := prof.Recovery.withDefaults()
+		for _, s := range c.Servers {
+			s.enableRecovery(rcfg)
+		}
+		for _, cl := range c.Clients {
+			cl.enableRecovery(rcfg)
+			cl.homeSrv = c.Servers[cl.region]
+		}
+	}
 	c.applyLayout(opt.Mode)
 	return c
 }
@@ -170,8 +185,8 @@ func regionEngine(r CascadePlacement, callEng *sim.Engine) *sim.Engine {
 // PayloadTransfer returns the boundary-link payload re-homing hook for
 // packets delivered into dstRegion (netem.Link.SetHandoffPayload). Media
 // packets are cloned into the destination region's pool and the source
-// copy released; signalling messages (feedback, FIR, alloc) are immutable
-// after construction and pass through by pointer. It runs at window
+// copy released; signalling messages (feedback, FIR, alloc, NACK, TWCC)
+// are immutable after construction and pass through by pointer. It runs at window
 // barriers with both shards parked, so touching both pools is safe.
 func (c *Call) PayloadTransfer(dstRegion int) func(any) any {
 	pool := c.pools[dstRegion]
@@ -330,6 +345,41 @@ func (c *Call) Stop() {
 	for _, s := range c.Servers {
 		s.stop()
 	}
+}
+
+// DrainRecovery releases every RTX clone held in server-side
+// retransmission buffers. Call after Stop when inspecting a
+// recovery-enabled call: the scenario harness asserts RTXClonesLive()
+// is zero afterwards (clone conservation).
+func (c *Call) DrainRecovery() {
+	for _, s := range c.Servers {
+		s.drainRecovery()
+	}
+}
+
+// RTXClonesLive reports the number of RTX payload clones currently held
+// in server buffers across the call (zero after DrainRecovery, and
+// always zero with recovery off).
+func (c *Call) RTXClonesLive() uint64 {
+	var n uint64
+	for _, s := range c.Servers {
+		if s.rec != nil {
+			n += s.rec.clonesLive()
+		}
+	}
+	return n
+}
+
+// PendingNacks sums every client's outstanding NACK-queue depth. Client
+// stop flushes its jitter buffers, so a stopped call reports zero.
+func (c *Call) PendingNacks() int {
+	n := 0
+	for _, cl := range c.Clients {
+		if cl.rec != nil {
+			n += cl.rec.pendingNacks()
+		}
+	}
+	return n
 }
 
 // Leave removes the named client from the call mid-flight. Every server

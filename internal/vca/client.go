@@ -10,6 +10,7 @@ import (
 	"vcalab/internal/media"
 	"vcalab/internal/netem"
 	"vcalab/internal/obs"
+	"vcalab/internal/rtp"
 	"vcalab/internal/sim"
 	"vcalab/internal/stats"
 	"vcalab/internal/webrtcstats"
@@ -67,6 +68,15 @@ type Client struct {
 	// mutate the registry — interning a stranger could steal a freed ID
 	// out from under a later Rejoin. Cold path only.
 	strayRecv map[string]*media.Receiver
+
+	// rec, when non-nil, is the loss-recovery state (recovery.go):
+	// per-origin jitter buffers, NACK scheduling, TWCC recording. Nil
+	// unless CallOptions.Recovery — the recovery-off packet path is
+	// exactly the pre-recovery one. homeSrv points at the home SFU for
+	// read-only stats (the SFU answers NACKs on this client's behalf,
+	// so the outbound-rtp recovery counters live there).
+	rec     *clientRecovery
+	homeSrv *Server
 
 	// --- instrumentation ---
 	UpMeter   *stats.Meter // bytes this client put on the wire
@@ -130,6 +140,14 @@ func newClient(eng *sim.Engine, prof *Profile, name string, host *netem.Host, re
 	host.HandleFunc(PortFeedback, c.onFeedback)
 	host.HandleFunc(PortSignal, c.onSignal)
 	return c
+}
+
+// enableRecovery attaches loss-recovery state (called once at call
+// construction when CallOptions.Recovery is set). TWCC is only
+// generated when the home SFU runs per-leg controllers that could
+// consume it (pure relays have none).
+func (c *Client) enableRecovery(cfg RecoveryConfig) {
+	c.rec = newClientRecovery(cfg, len(c.recv), c.prof.NewServerCC != nil)
 }
 
 // SetTierBps sets the layout-imposed cap on this client's video target
@@ -198,6 +216,9 @@ func (c *Client) dropOrigin(origin int32) {
 			break
 		}
 	}
+	if c.rec != nil {
+		c.rec.drop(origin)
+	}
 }
 
 // clearRecv drops every receiver (the client itself is leaving the call).
@@ -206,6 +227,9 @@ func (c *Client) clearRecv() {
 		c.recv[i] = nil
 	}
 	c.recvOrder = c.recvOrder[:0]
+	if c.rec != nil {
+		c.rec.clear()
+	}
 }
 
 // start begins media flow and feedback/stat tickers.
@@ -224,10 +248,31 @@ func (c *Client) start(nominalVideoBps float64) {
 	c.tickers = append(c.tickers, c.eng.EveryHandler(100*time.Millisecond, sim.HandlerFunc(c.feedbackTick)))
 	// WebRTC-stats sampling at 1 s (§3.2: per-second granularity).
 	c.tickers = append(c.tickers, c.eng.EveryHandler(time.Second, sim.HandlerFunc(c.statsTick)))
+	// Loss recovery (recovery on only): NACK/concession tick, plus the
+	// TWCC report tick where the SFU has controllers to feed.
+	if c.rec != nil {
+		c.tickers = append(c.tickers, c.eng.EveryHandler(c.rec.cfg.NackTick, sim.HandlerFunc(c.recoveryTick)))
+		if c.rec.twcc != nil {
+			c.tickers = append(c.tickers, c.eng.EveryHandler(c.rec.cfg.TWCCInterval, sim.HandlerFunc(c.twccTick)))
+		}
+	}
 }
 
 // stop halts all activity (call teardown).
 func (c *Client) stop() {
+	if c.rec != nil {
+		// Deliver buffered stragglers, concede every pending gap: drained
+		// runs must end with empty NACK queues, and a rejoin must not
+		// inherit stale seq state.
+		now := c.eng.Now()
+		c.rec.flushAll(now, func(id int32) func(media.PacketInfo) {
+			r := c.receiverByID(id)
+			return func(info media.PacketInfo) { r.OnPacket(now, info) }
+		})
+		if c.rec.twcc != nil {
+			c.rec.twcc = rtp.NewTWCCRecorder(2048)
+		}
+	}
 	c.running = false
 	for _, t := range c.tickers {
 		t.Stop()
@@ -422,10 +467,114 @@ func (c *Client) onMedia(pkt *netem.Packet) {
 		// path, uplink queueing included (abs-send-time semantics).
 		sentAt = mp.OriginSentAt
 	}
+	if c.rec != nil {
+		if c.rec.twcc != nil && mp.TWSeq != 0 {
+			c.rec.twcc.Record(mp.TWSeq, int64(now/time.Microsecond))
+		}
+		// Participant media goes through the jitter buffer; SFU-origin
+		// probe padding (constant seq) bypasses it.
+		if c.reg.live(mp.OriginID) && !c.reg.isServer(mp.OriginID) {
+			c.recoveryOnMedia(now, mp, pkt.Size, sentAt)
+			releaseMedia(mp)
+			return
+		}
+	}
 	if c.reg.live(mp.OriginID) {
 		c.receiverByID(mp.OriginID).OnPacket(now, mp.Info(pkt.Size, sentAt))
 	}
 	releaseMedia(mp)
+}
+
+// recoveryOnMedia routes one participant-media arrival through the
+// origin's jitter buffer, which decides what (and when) the media
+// receiver sees.
+func (c *Client) recoveryOnMedia(now time.Duration, mp *MediaPacket, wireBytes int, sentAt time.Duration) {
+	b := c.rec.jbFor(mp.OriginID)
+	r := c.receiverByID(mp.OriginID)
+	ok := b.onPacket(now, mp.Seq, mp.RTX, wireBytes, mp.Info(wireBytes, sentAt), c.lastRTT,
+		func(info media.PacketInfo) { r.OnPacket(now, info) })
+	if c.tracer != nil {
+		if !ok {
+			c.tracer.Recovery(obs.EvJBLate, now, c.Name, mp.Origin, int(mp.Seq))
+		} else if mp.RTX {
+			c.tracer.Recovery(obs.EvRTXDeliver, now, c.Name, mp.Origin, int(mp.Seq))
+		}
+	}
+}
+
+// recoveryTick runs each origin's NACK retry machine: emit due NACKs
+// (bounded retries, RTT-derived backoff) and concede seqs past their
+// playout deadline or retry budget.
+func (c *Client) recoveryTick(now time.Duration) {
+	if !c.running || c.rec == nil {
+		return
+	}
+	backoff := c.rec.cfg.NackMinBackoff
+	if c.lastRTT > backoff {
+		backoff = c.lastRTT
+	}
+	for _, id := range c.rec.live {
+		b := c.rec.jbs[id]
+		if b.q.Len() == 0 {
+			continue
+		}
+		r := c.receiverByID(id)
+		origin := c.reg.name(id)
+		seqs := b.nackScratch[:0]
+		b.tick(now, backoff,
+			func(info media.PacketInfo) { r.OnPacket(now, info) },
+			func(seq uint16) {
+				seqs = append(seqs, seq)
+				if c.tracer != nil {
+					c.tracer.Recovery(obs.EvNackSent, now, c.Name, origin, int(seq))
+				}
+			},
+			func(seq uint16) {
+				if c.tracer != nil {
+					c.tracer.Recovery(obs.EvNackGiveUp, now, c.Name, origin, int(seq))
+				}
+			},
+			func(n int) {
+				if c.tracer != nil {
+					c.tracer.Recovery(obs.EvJBConcede, now, c.Name, origin, n)
+				}
+			})
+		b.nackScratch = seqs
+		if len(seqs) > 0 {
+			c.sendNack(id, seqs)
+		}
+	}
+}
+
+// sendNack requests retransmission of missing seqs in one origin's
+// per-leg sequence space.
+func (c *Client) sendNack(origin int32, seqs []uint16) {
+	pairs := rtp.BuildNackPairs(seqs)
+	pkt := c.host.NewPacket()
+	pkt.Size = nackWireBase + 4*len(pairs)
+	pkt.From = netem.Addr{Host: c.Name, Port: PortFeedback}
+	pkt.To = netem.Addr{Host: c.server, Port: PortFeedback}
+	pkt.Flow = c.flowRtcp
+	pkt.Payload = &NackMsg{From: c.Name, FromID: c.id, Origin: origin, Pairs: pairs}
+	c.host.Send(pkt)
+}
+
+// twccTick flushes the transport-wide arrival record into one report.
+func (c *Client) twccTick(now time.Duration) {
+	if !c.running || c.rec == nil || c.rec.twcc == nil {
+		return
+	}
+	rep, ok := c.rec.twcc.BuildReport()
+	if !ok {
+		return
+	}
+	pkt := c.host.NewPacket()
+	pkt.Size = twccWireBase + 4*len(rep.DeltaUs)
+	pkt.From = netem.Addr{Host: c.Name, Port: PortFeedback}
+	pkt.To = netem.Addr{Host: c.server, Port: PortFeedback}
+	pkt.Flow = c.flowRtcp
+	pkt.Payload = &TWCCMsg{From: c.Name, FromID: c.id, Report: rep}
+	c.host.Send(pkt)
 }
 
 // onFeedback handles receiver reports about this client's uplink.
@@ -493,6 +642,21 @@ func (c *Client) feedbackTick(now time.Duration) {
 	for _, id := range c.recvOrder {
 		r := c.recv[id]
 		st := r.Take(now)
+		if c.rec != nil {
+			// Discount recovered retransmissions: CC must still see the
+			// original losses (RTX rides a separate budget in real VCAs),
+			// or recovery would mask congestion from the controllers.
+			if b := c.rec.peek(id); b != nil {
+				rtxPkts, rtxBytes := b.takeInterval()
+				if rtxPkts > 0 && st.Expected > 0 {
+					if st.Interval > 0 {
+						st.RateBps -= float64(rtxBytes) * 8 / st.Interval.Seconds()
+					}
+					lost := st.LossFraction*float64(st.Expected) + float64(rtxPkts)
+					st.LossFraction = min(1, lost/float64(st.Expected))
+				}
+			}
+		}
 		agg.RateBps += st.RateBps
 		expectedSum += st.Expected
 		lossWeighted += st.LossFraction * float64(st.Expected)

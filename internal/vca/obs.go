@@ -86,12 +86,15 @@ func (c *Client) StatsReport(now time.Duration) webrtcstats.Report {
 	}
 	p := c.currentEncodeParams()
 	out.FPS, out.FrameWidth, out.FrameHeight, out.QP = p.FPS, p.Width, p.Height, p.QP
+	if c.rec != nil && c.homeSrv != nil {
+		out.NackCount, out.RetransmittedPacketsSent = c.homeSrv.recoverySenderStats(c.id)
+	}
 	r.Outbound = out
 
 	for _, id := range c.recvOrder {
 		recv := c.recv[id]
 		lp := recv.LastParams
-		r.Inbound = append(r.Inbound, webrtcstats.InboundRTP{
+		in := webrtcstats.InboundRTP{
 			TUs: tus, Type: "inbound-rtp", Client: c.Name,
 			Origin:         c.reg.name(id),
 			FramesDecoded:  recv.DisplayedFrames(),
@@ -101,7 +104,14 @@ func (c *Client) StatsReport(now time.Duration) webrtcstats.Report {
 			FreezeCount:    recv.FreezeCount(),
 			TotalFreezesMs: float64(recv.FreezeTime()) / float64(time.Millisecond),
 			BytesReceived:  uint64(recv.TotalBytes),
-		})
+		}
+		if c.rec != nil {
+			rs := c.rec.recoveryReceiverStats(id)
+			in.NackCount = rs.NackCount
+			in.RetransmittedPacketsReceived = rs.RTXReceived
+			in.JitterBufferDelay = rs.JitterBufferTime.Seconds()
+		}
+		r.Inbound = append(r.Inbound, in)
 	}
 
 	var target float64
@@ -161,3 +171,25 @@ func (s *Server) LegFwdBytes(receiver string) uint64 {
 // FwdSwitches reports how many forwarding-selection changes (simulcast
 // copy flips, SVC layer moves) this server has made since creation.
 func (s *Server) FwdSwitches() uint64 { return s.fwdSwitches }
+
+// recoverySenderStats reads one origin's sender-side recovery counters
+// at this SFU: NACKed seqs received for its media and retransmissions
+// answered. Zero with recovery off or for an unknown origin.
+func (s *Server) recoverySenderStats(id int32) (nacks, rtx uint64) {
+	if s.rec == nil || id < 0 || int(id) >= len(s.rec.nackRecv) {
+		return 0, 0
+	}
+	return s.rec.nackRecv[id], s.rec.rtxSent[id]
+}
+
+// NackRTXTotals reports the call-wide NACKed-seq and answered-RTX
+// counters summed over every SFU (harness invariant surface).
+func (c *Call) NackRTXTotals() (nacks, rtx uint64) {
+	for _, s := range c.Servers {
+		if s.rec != nil {
+			nacks += s.rec.nackTotal
+			rtx += s.rec.rtxTotal
+		}
+	}
+	return nacks, rtx
+}

@@ -15,6 +15,7 @@ import (
 
 	"vcalab/internal/codec"
 	"vcalab/internal/media"
+	"vcalab/internal/rtp"
 )
 
 // Well-known ports used on every host.
@@ -107,6 +108,14 @@ type MediaPacket struct {
 	OriginSentAt time.Duration
 	E2E          bool
 
+	// RTX marks a NACK-answered retransmission, so the receiver can
+	// account it separately and CC can discount it. TWSeq is the
+	// transport-wide sequence number the SFU stamps on every packet of
+	// one downlink when recovery is on (0 = unstamped; the counter skips
+	// 0), feeding the TWCC arrival reports.
+	RTX   bool
+	TWSeq uint16
+
 	Params    codec.EncodeParams
 	HasParams bool
 
@@ -194,8 +203,30 @@ type AllocMsg struct {
 	LowBps float64
 }
 
+// NackMsg asks the SFU to retransmit missing packets of one origin's
+// per-leg sequence space (RTCP generic NACK, rtp.Nack). Immutable after
+// construction: sharded runs pass it across region boundaries by
+// pointer.
+type NackMsg struct {
+	From   string
+	FromID int32 // receiver's registry ID — the SFU's leg lookup key
+	Origin int32 // origin whose (leg, origin) seq space Pairs index
+	Pairs  []rtp.NackPair
+}
+
+// TWCCMsg carries one transport-wide CC arrival report from a receiver
+// to its SFU (rtp.TransportCC over the per-leg TWSeq space). Immutable
+// after construction, like NackMsg.
+type TWCCMsg struct {
+	From   string
+	FromID int32
+	Report rtp.TransportCC
+}
+
 const (
 	feedbackWire = 90
 	firWire      = 60
 	allocWire    = 60
+	nackWireBase = 16 // RTCP NACK header; + 4 per pair
+	twccWireBase = 24 // simplified TWCC header; + 4 per delta
 )

@@ -121,6 +121,11 @@ type Profile struct {
 	// KeyInterval is the periodic intra-refresh interval (default 10 s).
 	KeyInterval time.Duration
 
+	// Recovery tunes the NACK/RTX + jitter-buffer loss-recovery loop
+	// (recovery.go). The zero value means defaults; the loop only runs
+	// when CallOptions.Recovery is set.
+	Recovery RecoveryConfig
+
 	// StallEvery/StallDur model random encoder pipeline stalls. The
 	// paper observes Teams-Chrome freezing 3.6%% of the time even on an
 	// unconstrained link (§3.2, "implementation problems or poor design

@@ -1,0 +1,469 @@
+package vca
+
+import (
+	"time"
+
+	"vcalab/internal/media"
+	"vcalab/internal/obs"
+	"vcalab/internal/rtp"
+)
+
+// This file is the client half of packet-level loss recovery (DESIGN.md
+// §13): a per-origin jitter buffer that reorders out-of-order arrivals,
+// NACKs gaps with bounded retries and RTT-derived backoff, adapts its
+// playout deadline to observed jitter, and concedes seqs whose deadline
+// or retry budget is exhausted — after which late stragglers are
+// dropped, so the media receiver sees every loss exactly once. The SFU
+// half (RTX buffers, NACK answering, TWCC processing) lives in sfu.go.
+//
+// Recovery is strictly opt-in: with CallOptions.Recovery false, none of
+// this state exists, no recovery ticker is scheduled, and no message or
+// packet differs — experiment output stays byte-identical to a build
+// without this file.
+
+// RecoveryConfig tunes the NACK/RTX loss-recovery loop. The zero value
+// means "use the defaults" (filled by withDefaults) so profiles only
+// override what they care about.
+type RecoveryConfig struct {
+	// RTXBufferPkts is the per-(leg, origin) retransmission ring
+	// capacity at the SFU.
+	RTXBufferPkts int
+	// JitterBufferPkts is the receiver-side reorder window per origin. A
+	// gap wider than this resets the buffer (partition semantics).
+	JitterBufferPkts int
+	// MaxNackRetries is the per-seq NACK budget before giving up.
+	MaxNackRetries int
+	// NackMinBackoff floors the re-NACK backoff; the effective backoff
+	// is max(NackMinBackoff, last RTT estimate) — no re-NACK before an
+	// answer could possibly have arrived.
+	NackMinBackoff time.Duration
+	// NackTick is the recovery ticker cadence (NACK emission, deadline
+	// concession).
+	NackTick time.Duration
+	// PlayoutMin/PlayoutMax clamp the adaptive playout deadline: how
+	// long the jitter buffer waits for a missing seq before conceding.
+	PlayoutMin, PlayoutMax time.Duration
+	// PlayoutJitterMult scales the observed jitter EWMA into the playout
+	// deadline: deadline = clamp(mult*jitter + RTT, min, max).
+	PlayoutJitterMult float64
+	// TWCCInterval is the transport-wide CC report cadence; 0 disables
+	// TWCC generation.
+	TWCCInterval time.Duration
+}
+
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	if c.RTXBufferPkts == 0 {
+		c.RTXBufferPkts = 512
+	}
+	if c.JitterBufferPkts == 0 {
+		c.JitterBufferPkts = 256
+	}
+	if c.MaxNackRetries == 0 {
+		c.MaxNackRetries = 3
+	}
+	if c.NackMinBackoff == 0 {
+		c.NackMinBackoff = 20 * time.Millisecond
+	}
+	if c.NackTick == 0 {
+		c.NackTick = 20 * time.Millisecond
+	}
+	if c.PlayoutMin == 0 {
+		c.PlayoutMin = 60 * time.Millisecond
+	}
+	if c.PlayoutMax == 0 {
+		c.PlayoutMax = 400 * time.Millisecond
+	}
+	if c.PlayoutJitterMult == 0 {
+		c.PlayoutJitterMult = 4
+	}
+	if c.TWCCInterval == 0 {
+		c.TWCCInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// jbSlot states.
+const (
+	jbEmpty uint8 = iota
+	jbFilled
+	jbConceded
+)
+
+type jbSlot struct {
+	state     uint8
+	seq       uint16
+	info      media.PacketInfo
+	arrivedAt time.Duration
+}
+
+// jitterBuffer reorders one origin's per-leg sequence space in front of
+// its media.Receiver. In-order packets pass straight through; gaps are
+// buffered, NACKed, and either healed (RTX or late arrival within the
+// playout window) or conceded. Conceded slots swallow late stragglers so
+// the receiver's gap accounting — and therefore FreezeTime — charges
+// each lost packet exactly once.
+type jitterBuffer struct {
+	cfg   *RecoveryConfig
+	slots []jbSlot
+	q     *rtp.NackQueue
+
+	started bool
+	nextSeq uint16 // next seq owed to the receiver
+	highest uint16
+
+	// RFC 3550 §A.8 interarrival jitter estimate over transit times.
+	jitter      time.Duration
+	lastTransit time.Duration
+	haveTransit bool
+
+	// Stats (getStats + feedback discounting).
+	nackSent     uint64        // NACKs emitted, counted per seq per retry
+	rtxRecv      uint64        // retransmissions accepted
+	lateDropped  uint64        // post-concession stragglers dropped
+	conceded     uint64        // seqs conceded (deadline, give-up, reset)
+	jbDelayTotal time.Duration // cumulative buffered-residency time
+	// Per-feedback-interval RTX accounting, drained by feedbackTick so
+	// CC sees recovered packets as the losses they were.
+	intRTXPkts  int
+	intRTXBytes int
+
+	nackScratch []uint16 // seqs to NACK, rebuilt each tick
+}
+
+func newJitterBuffer(cfg *RecoveryConfig) *jitterBuffer {
+	return &jitterBuffer{
+		cfg:   cfg,
+		slots: make([]jbSlot, cfg.JitterBufferPkts),
+		q:     rtp.NewNackQueue(cfg.MaxNackRetries),
+	}
+}
+
+func (b *jitterBuffer) slot(seq uint16) *jbSlot { return &b.slots[int(seq)%len(b.slots)] }
+
+// observeJitter folds one arrival's transit time into the jitter EWMA.
+func (b *jitterBuffer) observeJitter(now time.Duration, sentAt time.Duration) {
+	transit := now - sentAt
+	if b.haveTransit {
+		d := transit - b.lastTransit
+		if d < 0 {
+			d = -d
+		}
+		b.jitter += (d - b.jitter) / 16
+	}
+	b.lastTransit = transit
+	b.haveTransit = true
+}
+
+// playoutDelay is the adaptive deadline for a newly detected gap.
+func (b *jitterBuffer) playoutDelay(rtt time.Duration) time.Duration {
+	d := time.Duration(b.cfg.PlayoutJitterMult*float64(b.jitter)) + rtt
+	if d < b.cfg.PlayoutMin {
+		d = b.cfg.PlayoutMin
+	}
+	if d > b.cfg.PlayoutMax {
+		d = b.cfg.PlayoutMax
+	}
+	return d
+}
+
+// onPacket feeds one arrival through the buffer, delivering whatever
+// becomes in-order to deliver(). Returns false when the packet was
+// dropped (late straggler past concession).
+func (b *jitterBuffer) onPacket(now time.Duration, seq uint16, rtx bool, wireBytes int,
+	info media.PacketInfo, rtt time.Duration, deliver func(media.PacketInfo)) bool {
+
+	b.observeJitter(now, info.SentAt)
+	if rtx {
+		b.rtxRecv++
+		b.intRTXPkts++
+		b.intRTXBytes += wireBytes
+	}
+	if !b.started {
+		b.started = true
+		b.nextSeq = seq + 1
+		b.highest = seq
+		b.q.Observe(seq, now, 0)
+		deliver(info)
+		return true
+	}
+	d := rtp.SeqDiff(b.nextSeq, seq)
+	switch {
+	case d < 0:
+		// Before the window: already delivered or conceded. Dropping
+		// (rather than delivering) is the freeze-accounting fix — the
+		// receiver charged this seq as lost once and must not see it.
+		b.lateDropped++
+		return false
+	case d == 0:
+		b.q.Observe(seq, now, 0) // advances the tracker; no gap possible here
+		if rtp.SeqLess(b.highest, seq) {
+			b.highest = seq
+		}
+		deliver(info)
+		b.nextSeq++
+		b.flush(now, deliver)
+		return true
+	case d >= len(b.slots):
+		// Catastrophic gap (partition): stop chasing, deliver what we
+		// have in order, concede the rest, restart at seq.
+		b.reset(now, deliver)
+		b.q.Reset(seq)
+		b.nextSeq = seq + 1
+		b.highest = seq
+		deliver(info)
+		return true
+	}
+	// Out-of-order within the window: track new gaps, buffer.
+	if rtp.SeqLess(b.highest, seq) {
+		deadline := now + b.playoutDelay(rtt)
+		b.q.Observe(seq, now, deadline)
+		b.highest = seq
+	} else {
+		b.q.Remove(seq)
+	}
+	s := b.slot(seq)
+	if s.state == jbConceded && s.seq == seq {
+		// Conceded but nextSeq hasn't passed it yet: a straggler that
+		// lost its race with the playout deadline. Same single-count
+		// rule as the d < 0 path.
+		b.lateDropped++
+		return false
+	}
+	if s.state == jbFilled && s.seq == seq {
+		return true // network duplicate of a buffered packet
+	}
+	*s = jbSlot{state: jbFilled, seq: seq, info: info, arrivedAt: now}
+	return true
+}
+
+// flush delivers the contiguous run of filled/conceded slots at nextSeq.
+func (b *jitterBuffer) flush(now time.Duration, deliver func(media.PacketInfo)) {
+	for b.nextSeq != b.highest+1 {
+		s := b.slot(b.nextSeq)
+		if s.seq != b.nextSeq || s.state == jbEmpty {
+			return
+		}
+		if s.state == jbFilled {
+			b.jbDelayTotal += now - s.arrivedAt
+			deliver(s.info)
+		}
+		*s = jbSlot{}
+		b.nextSeq++
+	}
+}
+
+// reset delivers every buffered packet in seq order and concedes the
+// holes — the catastrophic-gap path.
+func (b *jitterBuffer) reset(now time.Duration, deliver func(media.PacketInfo)) {
+	for b.nextSeq != b.highest+1 {
+		s := b.slot(b.nextSeq)
+		if s.seq == b.nextSeq && s.state == jbFilled {
+			b.jbDelayTotal += now - s.arrivedAt
+			deliver(s.info)
+		} else if s.seq != b.nextSeq || s.state != jbConceded {
+			b.conceded++
+		}
+		if s.seq == b.nextSeq {
+			*s = jbSlot{}
+		}
+		b.nextSeq++
+	}
+}
+
+// tick runs the NACK retry machine and concedes expired seqs: nack
+// fires per seq to request, giveUp per seq whose retry budget ran out,
+// and conceded once with the number of seqs given up on this tick.
+func (b *jitterBuffer) tick(now, backoff time.Duration, deliver func(media.PacketInfo),
+	nack, giveUp func(seq uint16), conceded func(n int)) {
+
+	if !b.started || b.q.Len() == 0 {
+		return
+	}
+	n := 0
+	b.q.Tick(now, backoff,
+		func(seq uint16) {
+			b.nackSent++
+			nack(seq)
+		},
+		func(seq uint16, gu bool) {
+			s := b.slot(seq)
+			if s.state == jbEmpty {
+				*s = jbSlot{state: jbConceded, seq: seq}
+			}
+			b.conceded++
+			n++
+			if gu {
+				giveUp(seq)
+			}
+		})
+	if n > 0 {
+		b.flush(now, deliver)
+		conceded(n)
+	}
+}
+
+// takeInterval drains the per-feedback-interval RTX counters.
+func (b *jitterBuffer) takeInterval() (pkts, bytes int) {
+	pkts, bytes = b.intRTXPkts, b.intRTXBytes
+	b.intRTXPkts, b.intRTXBytes = 0, 0
+	return pkts, bytes
+}
+
+// clientRecovery is the per-client recovery state: jitter buffers dense
+// by origin ID, the TWCC arrival recorder for the home-SFU transport,
+// and the tick bookkeeping.
+type clientRecovery struct {
+	cfg  RecoveryConfig
+	jbs  []*jitterBuffer // dense by origin registry ID
+	live []int32         // origin IDs with a buffer, creation order
+
+	twcc *rtp.TWCCRecorder // nil when TWCC is off
+}
+
+func newClientRecovery(cfg RecoveryConfig, idCap int, twcc bool) *clientRecovery {
+	r := &clientRecovery{cfg: cfg, jbs: make([]*jitterBuffer, idCap)}
+	if twcc && cfg.TWCCInterval > 0 {
+		r.twcc = rtp.NewTWCCRecorder(2048)
+	}
+	return r
+}
+
+func (r *clientRecovery) grow(id int32) {
+	for int(id) >= len(r.jbs) {
+		r.jbs = append(r.jbs, nil)
+	}
+}
+
+func (r *clientRecovery) jbFor(id int32) *jitterBuffer {
+	r.grow(id)
+	if b := r.jbs[id]; b != nil {
+		return b
+	}
+	b := newJitterBuffer(&r.cfg)
+	r.jbs[id] = b
+	r.live = append(r.live, id)
+	return b
+}
+
+// peek returns the buffer for an origin without creating one.
+func (r *clientRecovery) peek(id int32) *jitterBuffer {
+	if int(id) < len(r.jbs) {
+		return r.jbs[id]
+	}
+	return nil
+}
+
+// drop discards the buffer for an origin that left the call. Its ID may
+// be recycled for a different participant; the stale seq state must not
+// leak onto the newcomer.
+func (r *clientRecovery) drop(id int32) {
+	if int(id) < len(r.jbs) && r.jbs[id] != nil {
+		r.jbs[id] = nil
+		for i, v := range r.live {
+			if v == id {
+				r.live = append(r.live[:i], r.live[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// clear discards every buffer (the client left the call).
+func (r *clientRecovery) clear() {
+	for _, id := range r.live {
+		r.jbs[id] = nil
+	}
+	r.live = r.live[:0]
+}
+
+// pendingNacks sums the NACK queue depths (harness invariant: zero
+// after a drained run flushes).
+func (r *clientRecovery) pendingNacks() int {
+	n := 0
+	for _, id := range r.live {
+		n += r.jbs[id].q.Len()
+	}
+	return n
+}
+
+// flushAll concedes every pending gap and delivers the stragglers —
+// called at stop so drained runs end with empty NACK queues and fully
+// delivered buffers.
+func (r *clientRecovery) flushAll(now time.Duration, deliverFor func(id int32) func(media.PacketInfo)) {
+	for _, id := range r.live {
+		b := r.jbs[id]
+		deliver := deliverFor(id)
+		b.tick(now+b.cfg.PlayoutMax+time.Hour, time.Hour, deliver,
+			func(uint16) {}, func(uint16) {}, func(int) {})
+		b.reset(now, deliver)
+	}
+}
+
+// serverRecovery is the per-server recovery state: NACK/RTX counters
+// (per-origin for getStats) plus clone conservation accounting checked
+// by the fuzz harness. The RTX buffers themselves live on each leg's
+// fwdState; the TWCC send histories live on each leg.
+type serverRecovery struct {
+	cfg RecoveryConfig
+
+	clonesMade  uint64
+	clonesFreed uint64
+
+	nackRecv  []uint64 // by origin ID: NACKed seqs received
+	rtxSent   []uint64 // by origin ID: retransmissions answered
+	nackTotal uint64
+	rtxTotal  uint64
+}
+
+func newServerRecovery(cfg RecoveryConfig, idCap int) *serverRecovery {
+	return &serverRecovery{
+		cfg:      cfg,
+		nackRecv: make([]uint64, idCap),
+		rtxSent:  make([]uint64, idCap),
+	}
+}
+
+func (r *serverRecovery) grow(id int32) {
+	for int(id) >= len(r.nackRecv) {
+		r.nackRecv = append(r.nackRecv, 0)
+		r.rtxSent = append(r.rtxSent, 0)
+	}
+}
+
+// clonesLive is the number of RTX payload clones currently held in
+// buffers (harness invariant: zero after DrainRecovery).
+func (r *serverRecovery) clonesLive() uint64 { return r.clonesMade - r.clonesFreed }
+
+// RecoveryReceiverStats is one origin's receiver-side recovery counters,
+// surfaced into inbound-rtp getStats.
+type RecoveryReceiverStats struct {
+	NackCount        uint64
+	RTXReceived      uint64
+	JitterBufferTime time.Duration
+	Conceded         uint64
+	LateDropped      uint64
+}
+
+// recoveryReceiverStats reads one origin's counters (zero value if the
+// client has no buffer for it).
+func (r *clientRecovery) recoveryReceiverStats(id int32) RecoveryReceiverStats {
+	if r == nil || int(id) >= len(r.jbs) || r.jbs[id] == nil {
+		return RecoveryReceiverStats{}
+	}
+	b := r.jbs[id]
+	return RecoveryReceiverStats{
+		NackCount:        b.nackSent,
+		RTXReceived:      b.rtxRecv,
+		JitterBufferTime: b.jbDelayTotal,
+		Conceded:         b.conceded,
+		LateDropped:      b.lateDropped,
+	}
+}
+
+// tracerRecovery is a tiny helper so call sites stay one line under the
+// nil-guard convention.
+func tracerRecovery(tr *obs.Tracer, kind obs.EventKind, now time.Duration, client, origin string, n int) {
+	if tr != nil {
+		tr.Recovery(kind, now, client, origin, n)
+	}
+}

@@ -1,0 +1,220 @@
+package vca
+
+import (
+	"testing"
+	"time"
+
+	"vcalab/internal/media"
+	"vcalab/internal/netem"
+	"vcalab/internal/sim"
+)
+
+// twoPartyRecovery builds the standard 2-party call with recovery
+// toggled, so on/off runs share topology and seed.
+func twoPartyRecovery(eng *sim.Engine, prof *Profile, upBps, downBps float64, recovery bool) (*Call, *lab) {
+	l := newLab(eng, upBps, downBps)
+	c1 := l.clientHost("c1")
+	c2 := l.remoteHost("c2", 5*time.Millisecond)
+	sfu := l.remoteHost("sfu", 15*time.Millisecond)
+	call := NewCall(eng, prof, sfu, []*netem.Host{c1, c2}, CallOptions{Seed: 42, Recovery: recovery})
+	return call, l
+}
+
+// runLossy runs a 2-party call with random downlink loss and returns
+// C1's freeze time toward c2 plus the stopped call for inspection.
+func runLossy(prof *Profile, lossPct float64, recovery bool) (time.Duration, *Call) {
+	eng := sim.New(7)
+	call, l := twoPartyRecovery(eng, prof, 0, 0, recovery)
+	l.down.SetImpairment(lossPct/100, 0)
+	call.Start()
+	eng.RunUntil(60 * time.Second)
+	call.Stop()
+	return call.C1().Receiver("c2").FreezeTime(), call
+}
+
+func TestRecoveryReducesFreezeUnderLoss(t *testing.T) {
+	for _, prof := range []*Profile{Meet(), Teams()} {
+		off, _ := runLossy(prof, 3, false)
+		on, call := runLossy(prof, 3, true)
+		if on >= off {
+			t.Errorf("%s: recovery-on freeze %v, want < recovery-off %v", prof.Name, on, off)
+		}
+		nacks, rtx := call.NackRTXTotals()
+		if nacks == 0 || rtx == 0 {
+			t.Errorf("%s: recovery loop idle under 3%% loss: nacks=%d rtx=%d", prof.Name, nacks, rtx)
+		}
+		if nacks < rtx {
+			t.Errorf("%s: answered more RTX (%d) than seqs NACKed (%d)", prof.Name, rtx, nacks)
+		}
+		rs := call.C1().rec.recoveryReceiverStats(call.Clients[1].id)
+		if rs.RTXReceived == 0 {
+			t.Errorf("%s: c1 received no retransmissions", prof.Name)
+		}
+		// Conservation: stop flushed the queues; drain frees every clone.
+		if n := call.PendingNacks(); n != 0 {
+			t.Errorf("%s: %d NACKs pending after Stop", prof.Name, n)
+		}
+		call.DrainRecovery()
+		if n := call.RTXClonesLive(); n != 0 {
+			t.Errorf("%s: %d RTX clones leaked after DrainRecovery", prof.Name, n)
+		}
+	}
+}
+
+func TestRecoveryLossless(t *testing.T) {
+	// No loss: the NACK machinery must stay quiet and the call healthy.
+	eng := sim.New(11)
+	call, _ := twoPartyRecovery(eng, Meet(), 0, 0, true)
+	call.Start()
+	eng.RunUntil(30 * time.Second)
+	call.Stop()
+	nacks, rtx := call.NackRTXTotals()
+	if nacks != 0 || rtx != 0 {
+		t.Errorf("lossless run sent NACKs: nacks=%d rtx=%d", nacks, rtx)
+	}
+	if down := call.C1().DownMeter.MeanRateMbps(15*time.Second, 30*time.Second); down < 0.3 {
+		t.Errorf("recovery-on lossless downlink dead: %.2f Mbps (TWCC not driving CC?)", down)
+	}
+	call.DrainRecovery()
+	if n := call.RTXClonesLive(); n != 0 {
+		t.Errorf("%d RTX clones leaked", n)
+	}
+}
+
+func TestRecoveryChurnConservation(t *testing.T) {
+	// Leave/rejoin under loss must drain every per-leg RTX buffer it
+	// tears down and never leak jitter-buffer state onto recycled IDs.
+	eng := sim.New(13)
+	l := newLab(eng, 0, 0)
+	hosts := []*netem.Host{l.clientHost("c1"), l.remoteHost("c2", 5*time.Millisecond), l.remoteHost("c3", 8*time.Millisecond)}
+	sfu := l.remoteHost("sfu", 15*time.Millisecond)
+	call := NewCall(eng, Meet(), sfu, hosts, CallOptions{Seed: 9, Recovery: true})
+	l.down.SetImpairment(0.04, 0)
+	call.Start()
+	eng.RunUntil(10 * time.Second)
+	call.Leave("c2")
+	eng.RunUntil(20 * time.Second)
+	call.Rejoin("c2")
+	eng.RunUntil(30 * time.Second)
+	call.Stop()
+	if n := call.PendingNacks(); n != 0 {
+		t.Errorf("%d NACKs pending after Stop", n)
+	}
+	call.DrainRecovery()
+	if n := call.RTXClonesLive(); n != 0 {
+		t.Errorf("%d RTX clones leaked across churn", n)
+	}
+}
+
+func TestRecoveryDeterministic(t *testing.T) {
+	// Same seed, same topology: the recovery loop must reproduce its
+	// counters and freeze accounting exactly.
+	type digest struct {
+		freeze     time.Duration
+		nacks, rtx uint64
+	}
+	run := func() digest {
+		freeze, call := runLossy(Meet(), 5, true)
+		n, r := call.NackRTXTotals()
+		return digest{freeze, n, r}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("recovery run not deterministic: %+v vs %+v", a, b)
+	}
+	if a.nacks == 0 {
+		t.Errorf("no NACKs at 5%% loss")
+	}
+}
+
+// TestJitterBufferSingleCharge is the freeze-accounting asymmetry
+// regression test: a seq conceded past its playout deadline is charged
+// as lost exactly once — a late straggler (or late RTX) arriving after
+// concession must be swallowed by the buffer, never delivered to the
+// media receiver as a second copy of the same seq.
+func TestJitterBufferSingleCharge(t *testing.T) {
+	cfg := RecoveryConfig{}.withDefaults()
+	b := newJitterBuffer(&cfg)
+	var delivered []uint16
+	deliver := func(info media.PacketInfo) { delivered = append(delivered, info.Seq) }
+	info := func(seq uint16, at time.Duration) media.PacketInfo {
+		return media.PacketInfo{Seq: seq, SentAt: at}
+	}
+	now := time.Second
+	step := 10 * time.Millisecond
+	// In-order warmup, then a gap at seq 2.
+	b.onPacket(now, 0, false, 100, info(0, now-step), 40*time.Millisecond, deliver)
+	b.onPacket(now+step, 1, false, 100, info(1, now), 40*time.Millisecond, deliver)
+	b.onPacket(now+2*step, 3, false, 100, info(3, now+step), 40*time.Millisecond, deliver)
+	if b.q.Len() != 1 {
+		t.Fatalf("gap not tracked: queue len %d, want 1", b.q.Len())
+	}
+	// Tick far past the playout deadline: seq 2 is conceded and the
+	// buffered seq 3 flushes through.
+	var gaveUp, conceded int
+	b.tick(now+cfg.PlayoutMax+time.Second, 20*time.Millisecond, deliver,
+		func(uint16) {}, func(uint16) { gaveUp++ }, func(n int) { conceded += n })
+	if conceded != 1 {
+		t.Fatalf("conceded %d seqs, want 1", conceded)
+	}
+	want := []uint16{0, 1, 3}
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %v, want %v", delivered, want)
+	}
+	for i := range want {
+		if delivered[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", delivered, want)
+		}
+	}
+	// The straggler: seq 2 finally arrives. It must be dropped, not
+	// delivered — its loss was already charged at concession.
+	late := now + cfg.PlayoutMax + 2*time.Second
+	if ok := b.onPacket(late, 2, true, 100, info(2, now+step), 40*time.Millisecond, deliver); ok {
+		t.Errorf("late straggler for conceded seq 2 was accepted")
+	}
+	if len(delivered) != len(want) {
+		t.Errorf("straggler reached the receiver: delivered %v", delivered)
+	}
+	if b.lateDropped != 1 {
+		t.Errorf("lateDropped = %d, want 1", b.lateDropped)
+	}
+	// Delivery resumes cleanly after the drop.
+	if ok := b.onPacket(late+step, 4, false, 100, info(4, late), 40*time.Millisecond, deliver); !ok {
+		t.Errorf("in-order seq 4 rejected after straggler drop")
+	}
+	if delivered[len(delivered)-1] != 4 {
+		t.Errorf("seq 4 not delivered: %v", delivered)
+	}
+}
+
+// TestJitterBufferCatastrophicGap pins the partition semantics: a gap
+// wider than the buffer delivers what is buffered, concedes the holes,
+// and re-bases — it must not NACK thousands of seqs.
+func TestJitterBufferCatastrophicGap(t *testing.T) {
+	cfg := RecoveryConfig{JitterBufferPkts: 16}.withDefaults()
+	b := newJitterBuffer(&cfg)
+	var delivered []uint16
+	deliver := func(info media.PacketInfo) { delivered = append(delivered, info.Seq) }
+	now := time.Second
+	rtt := 40 * time.Millisecond
+	b.onPacket(now, 10, false, 100, media.PacketInfo{Seq: 10, SentAt: now}, rtt, deliver)
+	b.onPacket(now, 12, false, 100, media.PacketInfo{Seq: 12, SentAt: now}, rtt, deliver) // gap at 11
+	b.onPacket(now, 1000, false, 100, media.PacketInfo{Seq: 1000, SentAt: now}, rtt, deliver)
+	if b.q.Len() != 0 {
+		t.Errorf("queue not reset after catastrophic gap: len %d", b.q.Len())
+	}
+	want := []uint16{10, 12, 1000}
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %v, want %v", delivered, want)
+	}
+	for i := range want {
+		if delivered[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", delivered, want)
+		}
+	}
+	// In-order flow continues from the new base.
+	b.onPacket(now, 1001, false, 100, media.PacketInfo{Seq: 1001, SentAt: now}, rtt, deliver)
+	if delivered[len(delivered)-1] != 1001 {
+		t.Errorf("post-reset in-order packet not delivered: %v", delivered)
+	}
+}

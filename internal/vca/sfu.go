@@ -7,6 +7,7 @@ import (
 	"vcalab/internal/media"
 	"vcalab/internal/netem"
 	"vcalab/internal/obs"
+	"vcalab/internal/rtp"
 	"vcalab/internal/sim"
 )
 
@@ -91,6 +92,13 @@ type Server struct {
 	flowRtcpUp, flowRtcpHop, flowRtcpRelay string
 	flowFir, flowAlloc                     string
 
+	// rec, when non-nil, is the loss-recovery state (recovery.go): clone
+	// conservation accounting and per-origin NACK/RTX counters. Nil
+	// unless CallOptions.Recovery — the recovery-off packet path is
+	// exactly the pre-recovery one. The RTX buffers themselves hang off
+	// each receiver leg's fwdState; TWCC send history off each leg.
+	rec *serverRecovery
+
 	tickers []*sim.Ticker
 	running bool
 
@@ -116,6 +124,17 @@ type leg struct {
 	// flows caches accounting labels per (origin ID, rate key): building
 	// the label per forwarded packet would allocate on the hottest path.
 	flows [][]string
+
+	// --- loss recovery (nil / zero unless CallOptions.Recovery) ---
+	// twSeq is the transport-wide sequence counter for this downlink:
+	// every packet of the leg (media, FEC, probe padding) gets the next
+	// value in send(), feeding the receiver's TWCC arrival reports. The
+	// counter skips 0 so TWSeq==0 always means "unstamped". twHist maps
+	// a TWSeq back to its send time and size when the report returns;
+	// twccFilter turns report + history into cc.Feedback for ctrl.
+	twSeq      uint16
+	twHist     *rtp.SentHistory
+	twccFilter cc.TWCCFilter
 }
 
 // fwdState is the per-(receiver, origin) forwarding state: rewritten
@@ -131,6 +150,11 @@ type fwdState struct {
 	thinAcc    float64
 	needKey    bool // mark next forwarded frame as a keyframe (stream switch)
 	fecOwed    float64
+	// rtx, when recovery is on, buffers a pooled clone of every packet
+	// emitted in this (receiver, origin) sequence space so NACKs can be
+	// answered. Lazily created on first emission; relay legs never get
+	// one (recovery is last-mile: each region's SFU re-answers locally).
+	rtx *rtp.RTXBuffer
 }
 
 // newFwdState is the construction-time forwarding state: the maxLayer
@@ -231,6 +255,67 @@ func (s *Server) newLeg(receiver int32, relay bool) *leg {
 		l.ctrl = s.prof.NewServerCC()
 	}
 	return l
+}
+
+// enableRecovery attaches loss-recovery state (called once at call
+// construction when CallOptions.Recovery is set, before start). RTX
+// buffers and TWCC histories are created lazily on each leg's first
+// emission, so mid-call churn needs no special casing here.
+func (s *Server) enableRecovery(cfg RecoveryConfig) {
+	s.rec = newServerRecovery(cfg, s.reg.cap())
+}
+
+// rtxStore clones an outgoing packet into its (receiver, origin) RTX
+// buffer so a NACK for its seq can be answered. Relay legs are skipped:
+// recovery is last-mile, the downstream SFU re-buffers in its own
+// rewritten sequence space. Evicted clones return to the pool, with the
+// made/freed counters keeping the conservation invariant checkable.
+func (s *Server) rtxStore(l *leg, fs *fwdState, out *MediaPacket, size int) {
+	if s.rec == nil || l.relay {
+		return
+	}
+	if fs.rtx == nil {
+		fs.rtx = rtp.NewRTXBuffer(s.rec.cfg.RTXBufferPkts)
+	}
+	clone := s.pool.copyOf(out)
+	s.rec.clonesMade++
+	if ev := fs.rtx.Put(out.Seq, clone, size, int64(s.eng.Now()/time.Microsecond)); ev != nil {
+		releaseMedia(ev.(*MediaPacket))
+		s.rec.clonesFreed++
+	}
+}
+
+// drainFwd releases every RTX clone one forwarding state holds. Every
+// teardown path that nils a fwdState must come through here (or
+// drainLeg), or clones leak out of the pool conservation accounting.
+func (s *Server) drainFwd(fs *fwdState) {
+	if fs == nil || fs.rtx == nil {
+		return
+	}
+	fs.rtx.Drain(func(p any) {
+		releaseMedia(p.(*MediaPacket))
+		s.rec.clonesFreed++
+	})
+}
+
+// drainLeg drains every fwdState of one leg (the leg is going away).
+func (s *Server) drainLeg(l *leg) {
+	if l == nil || s.rec == nil {
+		return
+	}
+	for _, fs := range l.fwd {
+		s.drainFwd(fs)
+	}
+}
+
+// drainRecovery releases every RTX clone on every leg (call teardown).
+func (s *Server) drainRecovery() {
+	if s.rec == nil {
+		return
+	}
+	for _, rid := range s.legOrder {
+		s.drainLeg(s.legs[rid])
+	}
 }
 
 func (s *Server) rebuildLegOrder() {
@@ -334,6 +419,7 @@ func (s *Server) removeRemoteOrigin(origin int32) {
 	s.rates[origin] = nil
 	for _, rid := range s.legOrder {
 		if l := s.legs[rid]; l != nil {
+			s.drainFwd(l.fwd[origin])
 			l.fwd[origin] = nil
 			l.flows[origin] = nil
 		}
@@ -353,10 +439,12 @@ func (s *Server) removeClient(id int32) {
 	}
 	s.upRecv[id] = nil
 	s.rates[id] = nil
+	s.drainLeg(s.legs[id])
 	s.legs[id] = nil
 	s.displayed[id] = nil
 	for _, rid := range s.legOrder {
 		if l := s.legs[rid]; l != nil {
+			s.drainFwd(l.fwd[id])
 			l.fwd[id] = nil
 			l.flows[id] = nil
 		}
@@ -402,11 +490,13 @@ func (s *Server) resetSlot(id int32) {
 	}
 	s.upRecv[id] = nil
 	s.rates[id] = nil
+	s.drainLeg(s.legs[id])
 	s.legs[id] = nil
 	s.displayed[id] = nil
 	s.remote[id] = noID
 	for _, rid := range s.legOrder {
 		if l := s.legs[rid]; l != nil {
+			s.drainFwd(l.fwd[id])
 			l.fwd[id] = nil
 			l.flows[id] = nil
 		}
@@ -581,6 +671,7 @@ func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
 		// across a cascade of SFUs.
 		out := s.pool.copyOf(mp)
 		out.E2E = true
+		s.rtxStore(l, fs, out, size)
 		s.send(l, out, size)
 		return
 	}
@@ -643,6 +734,7 @@ func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo b
 			out.FrameEnd = mp.LayerEnd && (mp.Layer == fs.maxLayer || mp.FrameEnd)
 		}
 	}
+	s.rtxStore(l, fs, out, size)
 	s.send(l, out, size)
 
 	if isVideo && s.prof.ServerFECOverhead > 0 {
@@ -657,6 +749,7 @@ func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo b
 			fec.Origin, fec.OriginID = mp.Origin, mp.OriginID
 			fec.StreamID, fec.RK = "fec", rkFEC
 			fec.Seq, fec.Padding = l.nextSeq(fs), true
+			s.rtxStore(l, fs, fec, n+wireOverhead)
 			s.send(l, fec, n+wireOverhead)
 		}
 	}
@@ -695,6 +788,21 @@ func (s *Server) flowFor(l *leg, mp *MediaPacket) string {
 }
 
 func (s *Server) send(l *leg, mp *MediaPacket, size int) {
+	if s.rec != nil && !l.relay && l.ctrl != nil {
+		// Transport-wide sequencing for TWCC: every packet on a
+		// TWCC-capable downlink (media, FEC, probe padding, RTX) gets the
+		// next number; the counter skips 0 ("unstamped"). The history
+		// resolves the seq back to send time/size when the report returns.
+		l.twSeq++
+		if l.twSeq == 0 {
+			l.twSeq++
+		}
+		mp.TWSeq = l.twSeq
+		if l.twHist == nil {
+			l.twHist = rtp.NewSentHistory(2048)
+		}
+		l.twHist.Record(l.twSeq, int64(s.eng.Now()/time.Microsecond), size)
+	}
 	l.fwdBytes += uint64(size)
 	pkt := s.host.NewPacket()
 	pkt.Size = size
@@ -711,6 +819,14 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 	if !s.running {
 		return
 	}
+	switch m := pkt.Payload.(type) {
+	case *NackMsg:
+		s.onNack(m)
+		return
+	case *TWCCMsg:
+		s.onTWCC(m)
+		return
+	}
 	fb, ok := pkt.Payload.(*FeedbackMsg)
 	if !ok {
 		return
@@ -723,6 +839,15 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 		return
 	}
 	if l.ctrl != nil {
+		if s.rec != nil && !l.relay {
+			// TWCC drives this leg's controller when recovery is on: the
+			// per-packet arrival report sees the original losses (an RTX
+			// rides a fresh transport seq, so a recovered packet does not
+			// erase the hole it healed), making the aggregate report
+			// redundant — and double-feeding would double the controller's
+			// update cadence.
+			return
+		}
 		st := fb.Stats
 		var oldBps float64
 		if s.tracer != nil {
@@ -757,6 +882,83 @@ func (s *Server) onFeedback(pkt *netem.Packet) {
 		pkt.Flow = s.flowRtcpRelay
 		pkt.Payload = fb
 		s.host.Send(pkt)
+	}
+}
+
+// onNack answers a receiver's retransmission request from the
+// (receiver, origin) RTX buffer. Every answered seq is re-sent through
+// the normal leg path — shaped, droppable, TWCC-stamped — as a fresh
+// pooled copy marked RTX; the buffered clone stays put so a re-NACK can
+// be answered again. Seqs already evicted are silently unanswerable:
+// the receiver's retry budget bounds how long it keeps asking.
+func (s *Server) onNack(m *NackMsg) {
+	if s.rec == nil || m.FromID < 0 || int(m.FromID) >= len(s.legs) {
+		return
+	}
+	l := s.legs[m.FromID]
+	if l == nil || l.relay || m.Origin < 0 || int(m.Origin) >= len(l.fwd) {
+		return
+	}
+	fs := l.fwd[m.Origin]
+	if fs == nil || fs.rtx == nil {
+		return
+	}
+	s.rec.grow(m.Origin)
+	requested, answered := 0, 0
+	for _, p := range m.Pairs {
+		seq := p.PacketID
+		for i := 0; i <= 16; i++ {
+			if i > 0 {
+				if p.Bitmask&(1<<(i-1)) == 0 {
+					continue
+				}
+				seq = p.PacketID + uint16(i)
+			}
+			requested++
+			if payload, size, _, ok := fs.rtx.Get(seq); ok {
+				out := s.pool.copyOf(payload.(*MediaPacket))
+				out.RTX = true
+				s.send(l, out, size)
+				answered++
+			}
+		}
+	}
+	s.rec.nackRecv[m.Origin] += uint64(requested)
+	s.rec.nackTotal += uint64(requested)
+	s.rec.rtxSent[m.Origin] += uint64(answered)
+	s.rec.rtxTotal += uint64(answered)
+	if s.tracer != nil && answered > 0 {
+		s.tracer.Recovery(obs.EvNackAnswer, s.eng.Now(), l.recvName, s.reg.name(m.Origin), answered)
+	}
+}
+
+// onTWCC folds a receiver's transport-wide arrival report into the
+// leg's controller. The filter reconstructs per-packet one-way delay
+// against the leg's send history; RTT follows the repo's synthetic
+// convention (2×queue delay + 40 ms base).
+func (s *Server) onTWCC(m *TWCCMsg) {
+	if s.rec == nil || m.FromID < 0 || int(m.FromID) >= len(s.legs) {
+		return
+	}
+	l := s.legs[m.FromID]
+	if l == nil || l.ctrl == nil || l.twHist == nil {
+		return
+	}
+	fb, ok := l.twccFilter.Process(s.eng.Now(), 0, &m.Report, l.twHist.Lookup)
+	if !ok {
+		return
+	}
+	fb.RTT = 2*fb.QueueDelay + 40*time.Millisecond
+	var oldBps float64
+	if s.tracer != nil {
+		oldBps = l.ctrl.TargetBps()
+	}
+	l.ctrl.OnFeedback(fb)
+	if s.tracer != nil {
+		if newBps := l.ctrl.TargetBps(); newBps != oldBps {
+			s.tracer.CC(s.eng.Now(), l.recvName, s.Name,
+				ccReason(fb.LossFraction, fb.QueueDelay, oldBps, newBps), oldBps, newBps)
+		}
 	}
 }
 

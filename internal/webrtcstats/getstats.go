@@ -20,6 +20,12 @@ type OutboundRTP struct {
 	QP            float64 `json:"qpSum,omitempty"` // current QP, not a sum; kept under the spec name
 	FIRCount      int     `json:"firCount"`
 	BytesSent     uint64  `json:"bytesSent"`
+	// Loss-recovery counters (omitted when recovery is off, keeping the
+	// snapshot identical to pre-recovery builds). The SFU answers NACKs
+	// on the sender's behalf, so these count NACKs received — and
+	// retransmissions sent — for this client's media at its home SFU.
+	NackCount                uint64 `json:"nackCount,omitempty"`
+	RetransmittedPacketsSent uint64 `json:"retransmittedPacketsSent,omitempty"`
 }
 
 // InboundRTP is one inbound-rtp video snapshot for a single remote
@@ -36,6 +42,14 @@ type InboundRTP struct {
 	FreezeCount    int     `json:"freezeCount"`
 	TotalFreezesMs float64 `json:"totalFreezesDuration"` // spec reports seconds; we keep ms and say so in the name
 	BytesReceived  uint64  `json:"bytesReceived"`
+	// Loss-recovery counters (omitted when recovery is off): NACKs this
+	// receiver sent for the stream, retransmissions that healed it, and
+	// the cumulative time packets sat in the jitter buffer (spec:
+	// jitterBufferDelay is a sum of seconds, divided by
+	// jitterBufferEmittedCount for the average).
+	NackCount                    uint64  `json:"nackCount,omitempty"`
+	RetransmittedPacketsReceived uint64  `json:"retransmittedPacketsReceived,omitempty"`
+	JitterBufferDelay            float64 `json:"jitterBufferDelay,omitempty"`
 }
 
 // CandidatePair is one candidate-pair snapshot: the client's view of

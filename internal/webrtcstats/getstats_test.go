@@ -19,12 +19,14 @@ func TestReportGoldenJSONL(t *testing.T) {
 			TUs: 15_000_000, Type: "outbound-rtp", Client: "c1",
 			TargetBitrate: 1_700_000, FPS: 24, FrameWidth: 1280, FrameHeight: 720,
 			QP: 31.5, FIRCount: 2, BytesSent: 3_187_200,
+			NackCount: 14, RetransmittedPacketsSent: 11,
 		},
 		Inbound: []InboundRTP{
 			{
 				TUs: 15_000_000, Type: "inbound-rtp", Client: "c1", Origin: "c2",
 				FramesDecoded: 358, FPS: 24, FrameWidth: 640, FrameHeight: 360,
 				FreezeCount: 1, TotalFreezesMs: 533.3, BytesReceived: 1_912_300,
+				NackCount: 9, RetransmittedPacketsReceived: 7, JitterBufferDelay: 1.284,
 			},
 			{
 				TUs: 15_000_000, Type: "inbound-rtp", Client: "c1", Origin: "c3",
