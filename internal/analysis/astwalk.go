@@ -1,0 +1,23 @@
+package analysis
+
+import "go/ast"
+
+// WalkParents traverses root in source order invoking fn with each
+// node and the stack of its ancestors (outermost first, root's parent
+// absent). Returning false prunes the subtree.
+func WalkParents(root ast.Node, fn func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		// Inspect only delivers the closing nil when we descend, so the
+		// stack is pushed (and later popped) only for kept subtrees.
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

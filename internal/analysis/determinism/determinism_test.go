@@ -1,0 +1,27 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"vcalab/internal/analysis/analysistest"
+	"vcalab/internal/analysis/determinism"
+)
+
+// TestDeterminism registers the testdata package as deterministic
+// (with a blessed goroutine file, mirroring internal/sim/shard.go) and
+// checks every want in det/.
+func TestDeterminism(t *testing.T) {
+	determinism.Packages = append(determinism.Packages, "det")
+	determinism.BlessedGoFiles["det"] = []string{"blessed.go"}
+	defer func() {
+		determinism.Packages = determinism.Packages[:len(determinism.Packages)-1]
+		delete(determinism.BlessedGoFiles, "det")
+	}()
+	analysistest.Run(t, "testdata", determinism.Analyzer, "det")
+}
+
+// TestUncoveredPackageSilent: packages outside the deterministic set
+// are never flagged, whatever they contain.
+func TestUncoveredPackageSilent(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "free")
+}

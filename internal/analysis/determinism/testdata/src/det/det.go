@@ -1,0 +1,71 @@
+// Package det exercises the determinism analyzer: the test registers
+// "det" as a deterministic package and "blessed.go" as its blessed
+// goroutine file.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+var table = map[string]int{"a": 1, "b": 2}
+
+func emit(string) {}
+
+// Effectful map range: emit's call order follows randomized iteration.
+func badRange() {
+	for k := range table { // want `map iteration order is random`
+		emit(k)
+	}
+}
+
+// Effect-free bodies stay legal: commutative accumulation,
+// max-tracking, and delete-while-ranging.
+func goodRange() int {
+	total, mx := 0, 0
+	for _, v := range table {
+		total += v
+		mx = max(mx, v)
+	}
+	for k, v := range table {
+		if v == 0 {
+			delete(table, k)
+		}
+	}
+	return total + mx
+}
+
+// Slice ranges are ordered; calls inside them are fine.
+func goodSliceRange(items []string) {
+	for _, it := range items {
+		emit(it)
+	}
+}
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time.Now in deterministic package`
+	return time.Since(t0) // want `time.Since in deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `rand.Intn draws from the process-global RNG`
+}
+
+// Seeded private sources are the legal pattern.
+func seededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select statement in deterministic package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func strayGoroutine() {
+	go emit("x") // want `go statement outside the blessed shard files`
+}

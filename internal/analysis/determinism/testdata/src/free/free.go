@@ -1,0 +1,15 @@
+// Package free is NOT registered as deterministic: nothing here may
+// be flagged even though every construct would be a violation inside
+// the covered packages.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration { return time.Since(time.Now()) }
+
+func globalRand() int { return rand.Intn(6) }
+
+func spawn(f func()) { go f() }

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vcalab/internal/analysis/analysistest"
+	"vcalab/internal/analysis/hotpath"
+)
+
+// TestDirectives drives the suppression machinery end to end through
+// testdata/src/dir: line and file-wide ignores silence real findings,
+// while malformed and unknown-name directives surface as "vcalint"
+// findings of their own.
+func TestDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "dir")
+}

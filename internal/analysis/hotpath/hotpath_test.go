@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"vcalab/internal/analysis/analysistest"
+	"vcalab/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hot")
+}

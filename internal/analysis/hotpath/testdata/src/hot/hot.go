@@ -1,0 +1,72 @@
+// Package hot exercises the hotpath analyzer: every per-call
+// allocation inside a //vca:hotpath function is a finding, while the
+// zero-alloc idioms (scratch append, struct values, pointers into
+// interfaces) stay legal. Unannotated functions are never entered.
+package hot
+
+import "fmt"
+
+type box interface{}
+
+type stats struct{ n, sum int }
+
+type proc struct {
+	scratch []int
+	name    string
+}
+
+func consume(v box) { _ = v }
+
+var global stats
+
+//vca:hotpath per-event path: every construct below allocates
+func (p *proc) violations(ifc box) string {
+	f := func() {} // want `function literal in hot path`
+	f()
+	s := []int{1, 2, 3}                          // want `slice/map composite literal in hot path`
+	m := make(map[int]int)                       // want `make in hot path allocates`
+	st := &stats{}                               // want `pointer composite literal in hot path`
+	msg := fmt.Sprintf("%d", len(s)+len(m)+st.n) // want `fmt.Sprintf in hot path allocates`
+	msg += p.name                                // want `string concatenation in hot path allocates`
+	ifc = st.n                                   // want `assignment implicitly converts int to interface`
+	consume(ifc)
+	return msg
+}
+
+//vca:hotpath boxing at a call argument
+func (p *proc) badArg(n int) {
+	consume(n) // want `argument implicitly converts int to interface`
+}
+
+//vca:hotpath boxing at a return
+func badReturn(n int) box {
+	return n // want `return implicitly converts int to interface`
+}
+
+// ---- legal patterns ----
+
+//vca:hotpath append into persistent scratch amortizes to zero
+func (p *proc) legalScratch(vals []int) int {
+	p.scratch = p.scratch[:0]
+	for _, v := range vals {
+		p.scratch = append(p.scratch, v)
+	}
+	return len(p.scratch)
+}
+
+//vca:hotpath struct values stay on the stack
+func legalStructValue(n int) int {
+	st := stats{n: n, sum: n * n}
+	return st.sum
+}
+
+//vca:hotpath pointers ride in the interface word without boxing
+func legalPointerIface() box {
+	return &global
+}
+
+// Unannotated functions may allocate freely: the check is opt-in and
+// not transitive.
+func coldAlloc(n int) []int {
+	return []int{n, n + 1}
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages from source with no toolchain help, so
+// the standalone `vcalint ./...` mode works in an offline container.
+// Import paths resolve through Roots (longest-prefix match: the module
+// path → repo root for real runs, "" → testdata/src for analyzer
+// tests); everything else falls back to GOROOT/src. Imported
+// dependencies are checked API-only (IgnoreFuncBodies); only the
+// package under analysis gets full bodies and a populated types.Info.
+type Loader struct {
+	Fset *token.FileSet
+	// Roots maps an import-path prefix to the directory holding its
+	// source tree. A "" key is the catch-all (testdata GOPATH style).
+	Roots map[string]string
+
+	imports map[string]*types.Package
+}
+
+// NewLoader returns a loader resolving modPath under modRoot.
+func NewLoader(modPath, modRoot string) *Loader {
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		Roots:   map[string]string{modPath: modRoot},
+		imports: map[string]*types.Package{},
+	}
+}
+
+func (l *Loader) dirFor(path string) (string, error) {
+	best, bestDir := -1, ""
+	for prefix, dir := range l.Roots {
+		switch {
+		case path == prefix:
+			if len(prefix) > best {
+				best, bestDir = len(prefix), dir
+			}
+		case prefix == "" || strings.HasPrefix(path, prefix+"/"):
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, prefix), "/")
+			if len(prefix) > best {
+				best, bestDir = len(prefix), filepath.Join(dir, filepath.FromSlash(rel))
+			}
+		}
+	}
+	if best >= 0 {
+		if st, err := os.Stat(bestDir); err == nil && st.IsDir() {
+			return bestDir, nil
+		}
+	}
+	d := filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(d); err == nil && st.IsDir() {
+		return d, nil
+	}
+	return "", fmt.Errorf("cannot resolve import %q to a directory", path)
+}
+
+// Import implements types.Importer for dependency resolution.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.imports[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	l.imports[path] = nil // cycle guard
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		// Imported stdlib internals may use compiler intrinsics the
+		// pure type-checker dislikes; their exported API still loads.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if pkg == nil {
+		return nil, err
+	}
+	l.imports[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the build-constraint-selected .go files of dir.
+func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		return nil, err
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadPackage fully type-checks the package in dir under importPath.
+func (l *Loader) LoadPackage(importPath, dir string) (*Package, error) {
+	files, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{Fset: l.Fset, Files: files, Pkg: pkg, Info: info, Path: importPath}, nil
+}
+
+// FindPackages expands command-line patterns relative to root into
+// (importPath, dir) pairs. Supported: "./..." (whole tree), "./x/..."
+// (subtree), and plain relative directories. testdata and hidden
+// directories are skipped, as are directories with no non-test Go
+// files.
+func FindPackages(root, modPath string, patterns []string) (paths, dirs []string, err error) {
+	seen := map[string]bool{}
+	addTree := func(base string) error {
+		return filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if p != base && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(p)
+			if seen[dir] {
+				return nil
+			}
+			seen[dir] = true
+			return nil
+		})
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := addTree(root); err != nil {
+				return nil, nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			if err := addTree(base); err != nil {
+				return nil, nil, err
+			}
+		default:
+			dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+			if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+				return nil, nil, fmt.Errorf("pattern %q: not a directory under %s", pat, root)
+			}
+			seen[dir] = true
+		}
+	}
+	for dir := range seen {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		ipath := modPath
+		if rel != "." {
+			ipath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, ipath)
+	}
+	return paths, dirs, nil
+}

@@ -1,0 +1,265 @@
+// Package nilguard implements the vcalint analyzer that keeps
+// observability zero-cost when disabled: a nil *obs.Tracer is a valid
+// no-op tracer, but reaching the method call still evaluates every
+// argument — string conversions, float math — on the hottest paths.
+// The established idiom therefore guards each producer call site
+// inline:
+//
+//	if s.tracer != nil {
+//	    s.tracer.Packet(...)
+//	}
+//
+// The analyzer flags any Tracer producer call (Packet, CC, Switch,
+// Scenario, Recovery, Churn) whose receiver is not (a) under such a
+// nil-check — `x != nil` in an enclosing if condition (or `x == nil`
+// with the call on the else arm), including the `if tr := s.tracer;
+// tr != nil` binding form — or (b) provably non-nil because the
+// receiver is a local assigned from obs.NewTracer in the same
+// function.
+//
+// Registry producers (Gauge, Histogram, Sample) follow a weaker rule
+// by design: a Registry is only ever constructed when metrics are on
+// (there is no nil-registry-flows-through idiom), so only calls on
+// struct *fields* of type *obs.Registry need a guard; locals and
+// parameters are assumed live. See DESIGN.md §14.
+package nilguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vcalab/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilguard",
+	Doc: "flags obs.Tracer/Registry producer calls whose receiver is not " +
+		"nil-guarded, so disabled tracing never evaluates arguments",
+	Run: run,
+}
+
+var tracerProducers = map[string]bool{
+	"Packet": true, "CC": true, "Switch": true,
+	"Scenario": true, "Recovery": true, "Churn": true,
+}
+
+var registryProducers = map[string]bool{
+	"Gauge": true, "Histogram": true, "Sample": true,
+}
+
+// obsType reports whether t is (a pointer to) a named type from a
+// package named "obs" with the given type name. Matching by package
+// name rather than full path keeps the analyzer testable against a
+// testdata shim while still matching vcalab/internal/obs.
+func obsType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		return nil // the tracer's own internals may touch t freely
+	}
+	for _, file := range pass.Files {
+		analysis.WalkParents(file, func(n ast.Node, parents []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvT := typeOf(pass.TypesInfo, sel.X)
+			if recvT == nil {
+				return true
+			}
+			switch {
+			case obsType(recvT, "Tracer") && tracerProducers[sel.Sel.Name]:
+				if !guarded(pass, sel.X, parents) && !localNonNilTracer(pass, sel.X, parents) {
+					pass.Reportf(call.Pos(),
+						"obs.Tracer.%s call without an inline nil-guard: arguments are evaluated even when tracing is off", sel.Sel.Name)
+				}
+			case obsType(recvT, "Registry") && registryProducers[sel.Sel.Name]:
+				if isFieldAccess(pass, sel.X) && !guarded(pass, sel.X, parents) {
+					pass.Reportf(call.Pos(),
+						"obs.Registry.%s call on a struct field without a nil-guard", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isFieldAccess reports whether e reads a struct field (x.f).
+func isFieldAccess(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+// guarded walks the ancestor chain looking for an if whose condition
+// nil-checks the same receiver expression, with the call on the arm
+// the check proves non-nil.
+func guarded(pass *analysis.Pass, recv ast.Expr, parents []ast.Node) bool {
+	key := exprKey(pass.TypesInfo, recv)
+	if key == "" {
+		return false
+	}
+	for i := len(parents) - 1; i >= 0; i-- {
+		ifStmt, ok := parents[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// Which arm holds the call? The next node down the stack (or
+		// the call itself) is either the body or the else.
+		var below ast.Node
+		if i+1 < len(parents) {
+			below = parents[i+1]
+		}
+		onThen := below == ifStmt.Body
+		onElse := below == ifStmt.Else
+		if !onThen && !onElse {
+			continue // init/cond position
+		}
+		if condProves(pass.TypesInfo, ifStmt.Cond, key, onThen) {
+			return true
+		}
+	}
+	return false
+}
+
+// condProves reports whether cond proves key non-nil on the chosen
+// arm: `key != nil` (possibly under &&) for the then-arm, `key == nil`
+// (possibly under ||) for the else-arm.
+func condProves(info *types.Info, cond ast.Expr, key string, thenArm bool) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condProves(info, c.X, key, thenArm)
+	case *ast.BinaryExpr:
+		switch {
+		case thenArm && c.Op == token.LAND:
+			return condProves(info, c.X, key, true) || condProves(info, c.Y, key, true)
+		case !thenArm && c.Op == token.LOR:
+			return condProves(info, c.X, key, false) || condProves(info, c.Y, key, false)
+		case thenArm && c.Op == token.NEQ, !thenArm && c.Op == token.EQL:
+			x, y := c.X, c.Y
+			if isNil(info, y) {
+				return exprKey(info, x) == key
+			}
+			if isNil(info, x) {
+				return exprKey(info, y) == key
+			}
+		}
+	}
+	return false
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// exprKey canonicalizes a receiver expression to an identity string:
+// the object ID for a plain ident, a dotted object/field path for a
+// selector chain. Anything else (calls, index expressions) yields ""
+// and is treated as unguardable.
+func exprKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj.Id()
+		}
+		if obj := info.Defs[e]; obj != nil {
+			return obj.Id()
+		}
+	case *ast.SelectorExpr:
+		base := exprKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(info, e.X)
+	}
+	return ""
+}
+
+// localNonNilTracer reports whether recv is a local variable that was
+// assigned obs.NewTracer(...) somewhere in the enclosing function —
+// provably non-nil without a guard.
+func localNonNilTracer(pass *analysis.Pass, recv ast.Expr, parents []ast.Node) bool {
+	id, ok := recv.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	// Find the enclosing function body.
+	var body *ast.BlockStmt
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch f := parents[i].(type) {
+		case *ast.FuncDecl:
+			body = f.Body
+		case *ast.FuncLit:
+			body = f.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, l := range as.Lhs {
+			lid, ok := l.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) || len(as.Lhs) != len(as.Rhs) {
+				continue
+			}
+			lobj := pass.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = pass.TypesInfo.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+				if s, ok := call.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "NewTracer" {
+					found = true
+				}
+				if f, ok := call.Fun.(*ast.Ident); ok && f.Name == "NewTracer" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package nilguard_test
+
+import (
+	"testing"
+
+	"vcalab/internal/analysis/analysistest"
+	"vcalab/internal/analysis/nilguard"
+)
+
+func TestNilGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", nilguard.Analyzer, "ng")
+}

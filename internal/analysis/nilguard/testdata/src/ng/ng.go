@@ -1,0 +1,86 @@
+// Package ng exercises the nilguard analyzer: every Tracer producer
+// call must sit under an inline nil-check of its own receiver;
+// Registry producers need the guard only on struct fields.
+package ng
+
+import "obs"
+
+type node struct {
+	on     bool
+	tracer *obs.Tracer
+	reg    *obs.Registry
+}
+
+// ---- violations ----
+
+func (n *node) unguarded(seq int) {
+	n.tracer.Packet("rx", seq) // want `obs.Tracer.Packet call without an inline nil-guard`
+}
+
+// Guarding a *different* field does not prove this receiver non-nil.
+func (n *node) wrongGuard(bps float64) {
+	if n.reg != nil {
+		n.tracer.CC("up", bps) // want `obs.Tracer.CC call without an inline nil-guard`
+	}
+}
+
+// The check must prove the call's arm: == nil proves the *else* arm.
+func (n *node) invertedGuard(from, to string) {
+	if n.tracer == nil {
+		n.tracer.Switch(from, to) // want `obs.Tracer.Switch call without an inline nil-guard`
+	}
+}
+
+func (n *node) regField() float64 {
+	return n.reg.Gauge("depth") // want `obs.Registry.Gauge call on a struct field without a nil-guard`
+}
+
+// ---- legal patterns ----
+
+// The canonical inline guard.
+func (n *node) guarded(seq int) {
+	if n.tracer != nil {
+		n.tracer.Packet("rx", seq)
+	}
+}
+
+// The binding form: if tr := s.tracer; tr != nil { tr.X(...) }.
+func (n *node) guardedBinding(bps float64) {
+	if tr := n.tracer; tr != nil {
+		tr.CC("up", bps)
+	}
+}
+
+// Guard as one conjunct of a compound condition.
+func (n *node) guardedCompound(seq int) {
+	if n.on && n.tracer != nil {
+		n.tracer.Packet("rx", seq)
+	}
+}
+
+// == nil with the call on the else arm.
+func (n *node) guardedElseArm(from, to string) {
+	if n.tracer == nil {
+		return
+	} else {
+		n.tracer.Switch(from, to)
+	}
+}
+
+// A local constructed in-function is provably non-nil.
+func localTracer(seq int) {
+	tr := obs.NewTracer()
+	tr.Packet("rx", seq)
+}
+
+// Registry locals and parameters are constructed-by-definition.
+func regParam(r *obs.Registry) float64 {
+	return r.Gauge("depth")
+}
+
+func (n *node) regFieldGuarded() float64 {
+	if n.reg != nil {
+		return n.reg.Histogram("owd")
+	}
+	return 0
+}

@@ -1,0 +1,19 @@
+// Package obs is a shim of vcalab/internal/obs for the nilguard
+// testdata: the analyzer matches producer types by package *name*, so
+// this stand-in exercises exactly the production rules.
+package obs
+
+type Tracer struct{ on bool }
+
+func NewTracer() *Tracer { return &Tracer{on: true} }
+
+func (t *Tracer) Packet(ev string, seq int)   {}
+func (t *Tracer) CC(flow string, bps float64) {}
+func (t *Tracer) Switch(from, to string)      {}
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Gauge(name string) float64     { return 0 }
+func (r *Registry) Histogram(name string) float64 { return 0 }

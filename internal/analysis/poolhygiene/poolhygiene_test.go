@@ -1,0 +1,12 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"vcalab/internal/analysis/analysistest"
+	"vcalab/internal/analysis/poolhygiene"
+)
+
+func TestPoolHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", poolhygiene.Analyzer, "pool")
+}

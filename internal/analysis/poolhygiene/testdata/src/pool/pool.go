@@ -1,0 +1,122 @@
+// Package pool exercises the poolhygiene analyzer against a miniature
+// of the repo's pooled-object shapes: a Get method on a *Pool-suffixed
+// receiver hands out ownership; Release (and the put helper) give it
+// back; a Mailbox stands in for the ownership-transferring sinks
+// (Host.Send, shard mailboxes, rtxStore).
+package pool
+
+type Buf struct {
+	pool *bufPool
+	n    int
+}
+
+type bufPool struct{ free []*Buf }
+
+func (p *bufPool) Get() *Buf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &Buf{pool: p}
+}
+
+func (p *bufPool) put(b *Buf) { p.free = append(p.free, b) }
+
+func (b *Buf) Release() { b.pool.put(b) }
+
+// Mailbox models a sink that takes over the release duty.
+type Mailbox struct{ q []*Buf }
+
+func (m *Mailbox) Post(b *Buf) { m.q = append(m.q, b) }
+
+// ---- violations ----
+
+// Straight-line leak: acquired, read, never released.
+func leak(p *bufPool) int {
+	b := p.Get() // want `pooled value "b" acquired here is neither released nor ownership-transferred`
+	return b.n
+}
+
+// Leak on one early-return path only.
+func leakOnEarlyReturn(p *bufPool, drop bool) {
+	b := p.Get() // want `neither released nor ownership-transferred on a path reaching this return`
+	if drop {
+		return
+	}
+	b.Release()
+}
+
+func useAfterRelease(p *bufPool) int {
+	b := p.Get()
+	b.Release()
+	return b.n // want `use of pooled value "b" after it was released`
+}
+
+func doubleRelease(p *bufPool) {
+	b := p.Get()
+	b.Release()
+	b.Release() // want `released twice on this path`
+}
+
+func deferThenExplicit(p *bufPool) {
+	b := p.Get()
+	defer b.Release()
+	b.Release() // want `also released by a defer`
+}
+
+// A value acquired inside a loop body must die inside it: the next
+// iteration rebinds b and the previous packet is gone.
+func leakEachIteration(p *bufPool, n int) {
+	total := 0
+	for i := 0; i < n; i++ {
+		b := p.Get() // want `the end of the loop body`
+		total += b.n
+	}
+	_ = total
+}
+
+func overwriteWhileLive(p *bufPool) {
+	b := p.Get() // want `overwritten while still owned`
+	b = p.Get()
+	b.Release()
+}
+
+// ---- legal patterns ----
+
+// Released on every path.
+func releaseBothArms(p *bufPool, keep bool) {
+	b := p.Get()
+	if keep {
+		b.Release()
+		return
+	}
+	b.Release()
+}
+
+// Ownership transfer: posting to a mailbox hands the release duty on
+// (the shard-boundary packet idiom).
+func transferViaMailbox(p *bufPool, m *Mailbox) {
+	b := p.Get()
+	m.Post(b)
+}
+
+// Deferred release with reads in between (the SFU onMedia idiom).
+func deferRelease(p *bufPool) int {
+	b := p.Get()
+	defer b.Release()
+	return b.n
+}
+
+// Returning the value transfers ownership to the caller.
+func handOut(p *bufPool) *Buf {
+	return p.Get()
+}
+
+// Acquire-release inside a loop body is fine.
+func perIteration(p *bufPool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get()
+		b.Release()
+	}
+}

@@ -1,0 +1,36 @@
+// Package dir exercises the //vcalint:ignore directive machinery,
+// using the hotpath analyzer as the finding source: same-line and
+// line-above suppression, the mandatory reason, and the unknown-name
+// check.
+package dir
+
+import "fmt"
+
+//vca:hotpath suppressed on the same line
+func suppressedSameLine() string {
+	return fmt.Sprintf("x") //vcalint:ignore hotpath one-shot formatting in a stats flush, off the packet path
+}
+
+//vca:hotpath suppressed from the line above
+func suppressedLineAbove() string {
+	//vcalint:ignore hotpath one-shot formatting in a stats flush
+	return fmt.Sprintf("y")
+}
+
+//vca:hotpath a directive two lines away does not reach
+func notSuppressed() string {
+	//vcalint:ignore hotpath too far away to bind to the finding
+
+	return fmt.Sprintf("z") // want `fmt.Sprintf in hot path`
+}
+
+// A typo'd analyzer name would silently suppress nothing forever, so
+// it is itself a finding.
+//
+//vcalint:ignore bogus latency experiment // want `directive names unknown analyzer "bogus"`
+var a = 1
+
+// So is a suppression without a recorded justification.
+//
+//vcalint:ignore hotpath // want `malformed directive: missing reason`
+var b = 2

@@ -1,0 +1,10 @@
+//vcalint:file-ignore hotpath bench-harness file: formatting is the output, not overhead
+
+package dir
+
+import "fmt"
+
+//vca:hotpath the file-ignore above silences the whole file
+func fileWideSuppressed() string {
+	return fmt.Sprintf("w")
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// Unit mode: the `go vet -vettool=` protocol. cmd/go invokes the tool
+// once per package on the build graph with a single JSON config file
+// argument; dependencies arrive with VetxOnly=true (the driver only
+// wants facts, which this suite does not use), the packages named on
+// the vet command line arrive with full file lists and export-data
+// maps for every import. The tool must write the VetxOutput file (we
+// write empty facts), print findings to stderr as file:line:col:
+// message, and exit 2 when it found anything.
+
+// UnitConfig mirrors the fields cmd/go writes into vet.cfg that this
+// driver consumes (the struct in x/tools/go/analysis/unitchecker).
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitImporter resolves imports through the export-data files cmd/go
+// listed in the config, after canonicalizing through ImportMap.
+type unitImporter struct {
+	cfg *UnitConfig
+	gc  types.Importer
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if canon, ok := u.cfg.ImportMap[path]; ok {
+		path = canon
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.gc.Import(path)
+}
+
+// RunUnit executes one vet.cfg invocation: load, analyze, report.
+// It returns the number of diagnostics printed to w.
+func RunUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	cfg := &UnitConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The driver caches facts through VetxOutput; an empty file keeps
+	// it satisfied (this suite is fact-free).
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	imp := &unitImporter{cfg: cfg}
+	imp.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewInfo()
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	pkg := &Package{Fset: fset, Files: files, Pkg: tpkg, Info: info, Path: cfg.ImportPath}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+	}
+	writeVetx()
+	return len(diags), nil
+}
+
+// IsUnitConfig reports whether arg looks like a cmd/go vet.cfg path.
+func IsUnitConfig(arg string) bool {
+	return strings.HasSuffix(arg, ".cfg")
+}

@@ -1,3 +1,5 @@
+//vcalint:file-ignore determinism benchmark harness: wall-clock timing is the measurement, not simulation state
+
 package experiment
 
 import (

@@ -37,16 +37,19 @@ type Client struct {
 	startedAt time.Duration
 
 	// --- sender ---
-	ccUp       cc.Controller
-	single     *codec.Encoder
-	simul      *codec.Simulcast
-	svc        *codec.SVC
-	tierBps    float64 // layout-imposed video cap
-	lowAlloc   float64 // Meet SFU low-copy allocation (0 = default)
-	stallUntil time.Duration
-	seq        uint16
-	padOwed    float64
-	lastPad    time.Duration
+	ccUp   cc.Controller
+	single *codec.Encoder
+	// frameScratch backs the single-encoder frame list in videoTick so
+	// the 30 Hz tick never allocates a one-element slice.
+	frameScratch [1]*codec.Frame
+	simul        *codec.Simulcast
+	svc          *codec.SVC
+	tierBps      float64 // layout-imposed video cap
+	lowAlloc     float64 // Meet SFU low-copy allocation (0 = default)
+	stallUntil   time.Duration
+	seq          uint16
+	padOwed      float64
+	lastPad      time.Duration
 
 	// --- receiver ---
 	recv []*media.Receiver // origin ID -> receiver (nil until first packet)
@@ -292,6 +295,7 @@ func (c *Client) videoTarget() float64 {
 	return t
 }
 
+//vca:hotpath 30 Hz per-client encode loop
 func (c *Client) videoTick(now time.Duration) {
 	if !c.running {
 		return
@@ -328,15 +332,19 @@ func (c *Client) videoTick(now time.Duration) {
 	default:
 		c.single.SetTarget(target)
 		if f := c.single.Tick(now); f != nil {
-			frames = []*codec.Frame{f}
+			c.frameScratch[0] = f
+			frames = c.frameScratch[:1]
 		}
 	}
 	for _, f := range frames {
 		c.sendFrame(f)
 	}
+	c.frameScratch[0] = nil
 }
 
 // sendFrame packetizes one encoded frame into RTP-sized packets.
+//
+//vca:hotpath packetization inner loop
 func (c *Client) sendFrame(f *codec.Frame) {
 	rk := streamRK(f.StreamID)
 	remaining := f.Bytes
@@ -376,6 +384,7 @@ func (c *Client) topLayer() int {
 	return 0
 }
 
+//vca:hotpath 50 Hz per-client audio loop
 func (c *Client) audioTick(time.Duration) {
 	if !c.running {
 		return
@@ -390,6 +399,8 @@ func (c *Client) audioTick(time.Duration) {
 
 // padTick emits FEC/probe padding at the controller's requested rate
 // (Zoom's probe bursts, GCC recovery probes).
+//
+//vca:hotpath padding/probe emission loop
 func (c *Client) padTick(now time.Duration) {
 	if !c.running || c.ccUp == nil {
 		return
@@ -420,6 +431,7 @@ func (c *Client) flowFor(rk uint8, stream string) string {
 	return c.flows[rk]
 }
 
+//vca:hotpath per-packet uplink path
 func (c *Client) send(mp *MediaPacket, wireBytes int) {
 	now := c.eng.Now()
 	mp.OriginSentAt = now
@@ -446,6 +458,8 @@ func (c *Client) sendSignal(payload any) {
 // onMedia handles a forwarded media packet from the SFU, dispatching to
 // the receiver slot by the packet's stamped origin ID. The packet's
 // payload is consumed here: it goes back to the call's media pool.
+//
+//vca:hotpath per-packet downlink receive path
 func (c *Client) onMedia(pkt *netem.Packet) {
 	mp, ok := pkt.Payload.(*MediaPacket)
 	if !ok {
@@ -560,6 +574,8 @@ func (c *Client) sendNack(origin int32, seqs []uint16) {
 }
 
 // twccTick flushes the transport-wide arrival record into one report.
+//
+//vca:hotpath transport-wide feedback tick
 func (c *Client) twccTick(now time.Duration) {
 	if !c.running || c.rec == nil || c.rec.twcc == nil {
 		return
@@ -573,7 +589,7 @@ func (c *Client) twccTick(now time.Duration) {
 	pkt.From = netem.Addr{Host: c.Name, Port: PortFeedback}
 	pkt.To = netem.Addr{Host: c.server, Port: PortFeedback}
 	pkt.Flow = c.flowRtcp
-	pkt.Payload = &TWCCMsg{From: c.Name, FromID: c.id, Report: rep}
+	pkt.Payload = &TWCCMsg{From: c.Name, FromID: c.id, Report: rep} //vcalint:ignore hotpath deliberate 10 Hz allocation: TWCC reports are rare relative to packets
 	c.host.Send(pkt)
 }
 
@@ -632,6 +648,8 @@ func (c *Client) onSignal(pkt *netem.Packet) {
 }
 
 // feedbackTick aggregates all receive legs into one report to the server.
+//
+//vca:hotpath receiver report tick
 func (c *Client) feedbackTick(now time.Duration) {
 	if !c.running {
 		return
@@ -678,7 +696,7 @@ func (c *Client) feedbackTick(now time.Duration) {
 	pkt.From = netem.Addr{Host: c.Name, Port: PortFeedback}
 	pkt.To = netem.Addr{Host: c.server, Port: PortFeedback}
 	pkt.Flow = c.flowRtcp
-	pkt.Payload = &FeedbackMsg{From: c.Name, FromID: c.id, Stats: agg}
+	pkt.Payload = &FeedbackMsg{From: c.Name, FromID: c.id, Stats: agg} //vcalint:ignore hotpath deliberate allocation: receiver reports fire once per feedback interval, not per packet
 	c.host.Send(pkt)
 }
 

@@ -592,6 +592,8 @@ func (s *Server) sourcePeer(origin int32) int32 {
 // origin's precomputed fan-out — no string is hashed anywhere on this
 // path. The inbound payload is consumed here: every forwarded copy is a
 // fresh pooled packet, so the original returns to the pool on exit.
+//
+//vca:hotpath per-packet SFU ingress
 func (s *Server) onMedia(pkt *netem.Packet) {
 	mp, ok := pkt.Payload.(*MediaPacket)
 	if !ok {
@@ -646,6 +648,7 @@ func (s *Server) displays(receiver, origin int32) bool {
 	return false
 }
 
+//vca:hotpath per-packet rate accounting
 func (s *Server) trackRate(mp *MediaPacket, size int) {
 	row := s.rates[mp.OriginID]
 	if row == nil {
@@ -660,6 +663,8 @@ func (s *Server) trackRate(mp *MediaPacket, size int) {
 }
 
 // forward applies per-VCA selection and relays the packet.
+//
+//vca:hotpath per-packet per-leg forwarding decision
 func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
 	fs := l.fwd[mp.OriginID]
 	if fs == nil {
@@ -703,6 +708,8 @@ func (s *Server) forward(l *leg, mp *MediaPacket, size int) {
 }
 
 // keepFrame decides whether a new frame survives temporal thinning.
+//
+//vca:hotpath per-packet layer filter
 func (s *Server) keepFrame(fs *fwdState, mp *MediaPacket) bool {
 	if mp.Keyframe {
 		fs.thinAcc = 0
@@ -720,6 +727,8 @@ func (s *Server) keepFrame(fs *fwdState, mp *MediaPacket) bool {
 // receiver, generating FEC overhead where the profile says so. Relay legs
 // share one sequence space across origins so the downstream SFU can run
 // loss accounting for the whole hop.
+//
+//vca:hotpath per-packet egress copy
 func (s *Server) emit(l *leg, fs *fwdState, mp *MediaPacket, size int, isVideo bool) {
 	out := s.pool.copyOf(mp)
 	out.Seq = l.nextSeq(fs)
@@ -787,6 +796,7 @@ func (s *Server) flowFor(l *leg, mp *MediaPacket) string {
 	return row[k]
 }
 
+//vca:hotpath per-packet egress to netem
 func (s *Server) send(l *leg, mp *MediaPacket, size int) {
 	if s.rec != nil && !l.relay && l.ctrl != nil {
 		// Transport-wide sequencing for TWCC: every packet on a
